@@ -1,0 +1,85 @@
+"""Shared configuration and helpers for the benchmark suite.
+
+Every module under ``benchmarks/`` regenerates one of the paper's
+tables or figures.  Scale is controlled with the ``GRE_SCALE``
+environment variable:
+
+* ``small``  (default) — ~6k keys per dataset, minutes for the suite,
+* ``medium`` — ~20k keys, sharper separation between indexes,
+* ``large``  — ~60k keys, closest to the paper's relative gaps.
+
+Outputs are printed in the same rows/series the paper reports, and the
+qualitative *shape* (who wins, roughly by how much, where crossovers
+fall) is asserted; absolute numbers are not expected to match a 96-core
+Xeon (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from typing import Callable, Dict, List, Sequence
+
+from repro import (
+    ALEX,
+    ART,
+    BPlusTree,
+    FINEdex,
+    HOT,
+    LIPP,
+    PGMIndex,
+    XIndex,
+)
+from repro.datasets import registry
+
+_SCALES = {
+    "small": {"n_keys": 6000, "n_ops": 5000},
+    "medium": {"n_keys": 20000, "n_ops": 16000},
+    "large": {"n_keys": 60000, "n_ops": 40000},
+}
+
+
+def scale() -> Dict[str, int]:
+    name = os.environ.get("GRE_SCALE", "small")
+    if name not in _SCALES:
+        raise ValueError(f"GRE_SCALE must be one of {sorted(_SCALES)}")
+    return dict(_SCALES[name])
+
+
+N_KEYS = scale()["n_keys"]
+N_OPS = scale()["n_ops"]
+
+#: The ten datasets of the paper's heatmaps, easy → hard.
+HEATMAP_DATASETS = registry.heatmap_names()
+
+#: Single-threaded index families (Section 4.1).
+ST_LEARNED: Dict[str, Callable] = {
+    "ALEX": ALEX,
+    "LIPP": LIPP,
+    "XIndex": XIndex,
+    "FINEdex": FINEdex,
+}
+ST_TRADITIONAL: Dict[str, Callable] = {
+    "B+tree": BPlusTree,
+    "ART": ART,
+    "HOT": HOT,
+}
+#: PGM is reported separately (the paper excludes it from the heatmap:
+#: its LSM inserts would "win" 100%-write cells for non-learned reasons).
+ST_ALL: Dict[str, Callable] = {**ST_LEARNED, "PGM": PGMIndex, **ST_TRADITIONAL}
+
+
+@lru_cache(maxsize=None)
+def dataset_keys(name: str, n: int = N_KEYS, seed: int = 0):
+    """Cached dataset generation (tuple for hashability/immutability)."""
+    return tuple(registry.get(name).generate(n, seed))
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_header(title: str) -> None:
+    line = "=" * max(60, len(title))
+    print(f"\n{line}\n{title}\n{line}")

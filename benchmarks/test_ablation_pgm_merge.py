@@ -1,0 +1,64 @@
+"""Ablation — PGM buffer size vs the insert/lookup trade.
+
+DESIGN.md's ablation list: the logarithmic method's buffer size governs
+PGM's LSM behaviour.  Bigger buffers amortize merges better (faster
+inserts) but lengthen the unsorted-buffer probe and defer run
+consolidation.  This quantifies the knob the paper's Table 1 fixes.
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro import PGMIndex, execute, mixed_workload
+from repro.core.report import table
+
+_BUFFER_SIZES = (32, 256, 2048)
+
+
+def _run():
+    keys = list(dataset_keys("covid"))
+    out = {}
+    rows = []
+    for buf in _BUFFER_SIZES:
+        w = execute(PGMIndex(buffer_size=buf),
+                    mixed_workload(keys, 1.0, seed=1))
+        r = execute(PGMIndex(buffer_size=buf),
+                    mixed_workload(keys, 0.0, n_ops=N_OPS, seed=2))
+        out[buf] = {"write": w.throughput_mops, "read": r.throughput_mops,
+                    "merges": None}
+        rows.append([buf, f"{w.throughput_mops:.2f}", f"{r.throughput_mops:.2f}"])
+    print_header("Ablation: PGM buffer size (write-only vs read-only Mops)")
+    print(table(["Buffer", "Write Mops", "Read Mops"], rows))
+    return out
+
+
+def _run_policies():
+    keys = list(dataset_keys("covid"))
+    out = {}
+    rows = []
+    for policy in ("logarithmic", "tiered"):
+        w = execute(PGMIndex(buffer_size=64, merge_policy=policy),
+                    mixed_workload(keys, 1.0, seed=3))
+        mixed = execute(PGMIndex(buffer_size=64, merge_policy=policy),
+                        mixed_workload(keys, 0.5, n_ops=N_OPS, seed=4))
+        out[policy] = {"write": w.throughput_mops, "mixed": mixed.throughput_mops}
+        rows.append([policy, f"{w.throughput_mops:.2f}", f"{mixed.throughput_mops:.2f}"])
+    print_header("Ablation: PGM merge policy (logarithmic vs size-tiered)")
+    print(table(["Policy", "Write-only Mops", "Balanced Mops"], rows))
+    return out
+
+
+def test_ablation_pgm_merge(benchmark):
+    r = run_once(benchmark, _run)
+    # Bigger buffers help inserts (fewer, better-amortized merges).
+    assert r[2048]["write"] > r[32]["write"]
+    # Read-only throughput is buffer-independent (bulk load = one run).
+    reads = [v["read"] for v in r.values()]
+    assert max(reads) < 1.2 * min(reads)
+
+
+def test_ablation_pgm_merge_policy(benchmark):
+    r = run_once(benchmark, _run_policies)
+    # The classic LSM trade: tiering buys write throughput...
+    assert r["tiered"]["write"] > r["logarithmic"]["write"]
+    # ...without collapsing the mixed workload (reads probe more runs
+    # but stay within 2x).
+    assert r["tiered"]["mixed"] > 0.5 * r["logarithmic"]["mixed"]

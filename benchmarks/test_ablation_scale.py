@@ -1,0 +1,60 @@
+"""Ablation — do the headline results survive a scale change?
+
+DESIGN.md's biggest substitution is running at 10^4 keys instead of
+2x10^8.  This bench re-computes a slice of the Figure-2 heatmap at two
+scales and checks the qualitative conclusions are scale-stable: the
+winners' identities and the hardness gradient must not flip between
+scales, or the reproduction would be an artifact of one operating
+point.
+"""
+
+from common import print_header, run_once
+from repro import ALEX, ART, LIPP, execute, mixed_workload
+from repro.core.report import table
+from repro.datasets import registry
+
+_SCALES = (4000, 16000)
+_DATASETS = ("covid", "osm")
+
+
+def _winner(keys, frac, n_ops):
+    wl = mixed_workload(keys, frac, n_ops=n_ops, seed=1)
+    mops = {cls.name: execute(cls(), wl).throughput_mops
+            for cls in (ALEX, LIPP, ART)}
+    best = max(mops, key=mops.get)
+    return best, mops
+
+
+def _run():
+    out = {}
+    rows = []
+    for n in _SCALES:
+        for ds in _DATASETS:
+            keys = registry.get(ds).generate(n, seed=0)
+            for frac, label in ((0.0, "read-only"), (1.0, "write-only")):
+                best, mops = _winner(keys, frac, min(n, 8000))
+                out[(n, ds, label)] = (best, mops)
+                rows.append([n, ds, label, best] +
+                            [f"{mops[i]:.2f}" for i in ("ALEX", "LIPP", "ART")])
+    print_header("Ablation: winner stability across scales")
+    print(table(["n", "Dataset", "Workload", "Winner", "ALEX", "LIPP", "ART"], rows))
+    return out
+
+
+def test_ablation_scale_stability(benchmark):
+    r = run_once(benchmark, _run)
+    for ds in _DATASETS:
+        for label in ("read-only", "write-only"):
+            small_best = r[(_SCALES[0], ds, label)][0]
+            large_best = r[(_SCALES[1], ds, label)][0]
+            # The winner's *family* must be scale-stable.
+            learned = {"ALEX", "LIPP"}
+            assert (small_best in learned) == (large_best in learned), (ds, label)
+    # The hardness gradient holds at both scales for the learned
+    # indexes; ART is allowed to stay flat (traditional robustness is
+    # itself one of the paper's findings — Message 11 / Lesson 6).
+    for n in _SCALES:
+        for name in ("ALEX", "LIPP"):
+            covid = r[(n, "covid", "write-only")][1][name]
+            osm = r[(n, "osm", "write-only")][1][name]
+            assert osm < covid, (n, name)

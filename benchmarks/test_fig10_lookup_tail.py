@@ -1,0 +1,79 @@
+"""Figure 10 — tail latency of lookup operations.
+
+Lookup latencies sampled from the read-only workload, single-threaded
+(10a) and under 24 threads (10b).  Per the paper's fair-CPU-budget
+setup, XIndex's background merge thread is pinned to the worker cores,
+so its context switches blow up lookup variance even though nothing
+about a lookup itself is slow.  ALEX/LIPP/ART/B+tree/HOT all show low,
+stable tails.
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro.concurrency.adapters import (
+    ALEXPlus,
+    ARTOLC,
+    BTreeOLC,
+    HOTROWEX,
+    LIPPPlus,
+    XIndexAdapter,
+)
+from repro.concurrency.simcore import MulticoreSimulator, Topology
+from repro.core.runner import LatencyStats
+from repro.core.report import table
+from repro.core.workloads import mixed_workload
+
+_ADAPTERS = {
+    "ALEX+": ALEXPlus, "LIPP+": LIPPPlus, "XIndex": XIndexAdapter,
+    "ART-OLC": ARTOLC, "B+TreeOLC": BTreeOLC, "HOT-ROWEX": HOTROWEX,
+}
+_DATASETS = ("covid", "osm")
+
+
+def _tails(threads):
+    sim = MulticoreSimulator(Topology(sockets=1))
+    out = {}
+    for ds in _DATASETS:
+        # A write phase primes XIndex's merge machinery, then lookups.
+        wl = mixed_workload(list(dataset_keys(ds)), 0.2, n_ops=N_OPS, seed=1)
+        for name, factory in _ADAPTERS.items():
+            ad = factory()
+            ad.bulk_load(wl.bulk_items)
+            r = sim.run(ad, wl.operations, threads=threads, sample_every=1)
+            out[(ds, name)] = LatencyStats.from_samples(r.lookup_latencies)
+    return out
+
+
+def _run():
+    results = {}
+    for threads, label in ((1, "single-threaded"), (24, "24 threads")):
+        t = _tails(threads)
+        results[threads] = t
+        rows = [
+            [ds, name, f"{s.p50:.0f}", f"{s.p99:.0f}", f"{s.p999:.0f}",
+             f"{s.variance:.3g}"]
+            for (ds, name), s in t.items()
+        ]
+        print_header(f"Figure 10: lookup tail latency ({label}, virtual ns)")
+        print(table(["Dataset", "Index", "p50", "p99", "p99.9", "variance"], rows))
+    return results
+
+
+def test_fig10_lookup_tail(benchmark):
+    r = run_once(benchmark, _run)
+    for threads in (1, 24):
+        t = r[threads]
+        for ds in _DATASETS:
+            x = t[(ds, "XIndex")]
+            # XIndex's p99.9/p50 blows up vs every other index (Message 10).
+            x_ratio = x.p999 / max(x.p50, 1)
+            for name in ("ALEX+", "LIPP+", "ART-OLC", "B+TreeOLC", "HOT-ROWEX"):
+                s = t[(ds, name)]
+                assert x_ratio > 3 * (s.p999 / max(s.p50, 1)), (threads, ds, name)
+            # Traditional indexes show impeccable tails.
+            for name in ("ART-OLC", "B+TreeOLC", "HOT-ROWEX"):
+                s = t[(ds, name)]
+                assert s.p999 < 12 * max(s.p50, 1), (threads, ds, name)
+    # LIPP+'s lookup tail stays low even at 24 threads (atomics hurt its
+    # average insert cost, not its lookup tail).
+    s = r[24][("covid", "LIPP+")]
+    assert s.p999 < 12 * max(s.p50, 1)

@@ -1,0 +1,82 @@
+"""Figure 11 — tail latency of insert operations.
+
+Insert latencies from the write-only workload.  Paper shape: XIndex's
+merge-behind-your-back design gives it the worst tails regardless of
+hardness; ALEX and LIPP are hardness-sensitive (osm/genome SMOs inflate
+their p99.9); under 24 threads Wormhole's single inner-layer lock adds
+insert tail; ART/B+tree stay impeccable.
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro.concurrency.adapters import (
+    ALEXPlus,
+    ARTOLC,
+    BTreeOLC,
+    LIPPPlus,
+    WormholeAdapter,
+    XIndexAdapter,
+)
+from repro.concurrency.simcore import MulticoreSimulator, Topology
+from repro.core.runner import LatencyStats
+from repro.core.report import table
+from repro.core.workloads import mixed_workload
+
+_ADAPTERS = {
+    "ALEX+": ALEXPlus, "LIPP+": LIPPPlus, "XIndex": XIndexAdapter,
+    "ART-OLC": ARTOLC, "B+TreeOLC": BTreeOLC, "Wormhole": WormholeAdapter,
+}
+_DATASETS = ("covid", "osm")
+
+
+def _tails(threads):
+    sim = MulticoreSimulator(Topology(sockets=1))
+    out = {}
+    for ds in _DATASETS:
+        wl = mixed_workload(list(dataset_keys(ds)), 1.0, seed=1)
+        for name, factory in _ADAPTERS.items():
+            ad = factory()
+            ad.bulk_load(wl.bulk_items)
+            r = sim.run(ad, wl.operations, threads=threads, sample_every=1)
+            out[(ds, name)] = LatencyStats.from_samples(r.write_latencies)
+    return out
+
+
+def _run():
+    results = {}
+    for threads, label in ((1, "single-threaded"), (24, "24 threads")):
+        t = _tails(threads)
+        results[threads] = t
+        rows = [
+            [ds, name, f"{s.p50:.0f}", f"{s.p99:.0f}", f"{s.p999:.0f}"]
+            for (ds, name), s in t.items()
+        ]
+        print_header(f"Figure 11: insert tail latency ({label}, virtual ns)")
+        print(table(["Dataset", "Index", "p50", "p99", "p99.9"], rows))
+    return results
+
+
+def test_fig11_insert_tail(benchmark):
+    r = run_once(benchmark, _run)
+    for threads in (1, 24):
+        t = r[threads]
+        for ds in _DATASETS:
+            # XIndex: worst tails regardless of hardness (context
+            # switches + inline-costed merges).
+            x = t[(ds, "XIndex")]
+            assert x.p999 / max(x.p50, 1) > 8, (threads, ds)
+            for name in ("ALEX+", "ART-OLC", "B+TreeOLC"):
+                assert x.p999 > 2 * t[(ds, name)].p999, (threads, ds, name)
+    # ALEX and LIPP are hardness-sensitive: higher p99.9 on osm than covid.
+    t1 = r[1]
+    assert t1[("osm", "ALEX+")].p999 > t1[("covid", "ALEX+")].p999
+    assert t1[("osm", "LIPP+")].p999 > t1[("covid", "LIPP+")].p999
+    # Under 24 threads Wormhole's tail worsens vs single thread
+    # (queueing on the single inner-layer lock).
+    w1 = r[1][("covid", "Wormhole")]
+    w24 = r[24][("covid", "Wormhole")]
+    assert w24.p999 > w1.p999
+    # ART keeps a tight tail everywhere.
+    for threads in (1, 24):
+        for ds in _DATASETS:
+            s = r[threads][(ds, "ART-OLC")]
+            assert s.p999 < 40 * max(s.p50, 1), (threads, ds)

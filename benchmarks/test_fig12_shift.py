@@ -1,0 +1,69 @@
+"""Figure 12 — throughput change as data distributions change.
+
+Bulk-load 100%-of-X, then run a balanced workload whose inserts come
+from dataset Y (rescaled into X's domain) and whose lookups target X.
+The reported number is the throughput change relative to the same
+balanced workload with no distribution change (Y = X).
+
+Paper shape (Message 11): learned indexes are sensitive — easy→hard
+hurts (ALEX up to -52%), hard→easy can even help — while traditional
+indexes barely move; PGM (LSM runs) and XIndex (background merges)
+absorb shifts better than ALEX/LIPP.
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro import ALEX, ART, BPlusTree, LIPP, PGMIndex, XIndex, execute
+from repro.core.report import table
+from repro.core.workloads import mixed_workload, shift_workload
+
+_INDEXES = {
+    "ALEX": ALEX, "LIPP": LIPP, "PGM": PGMIndex, "XIndex": XIndex,
+    "ART": ART, "B+tree": BPlusTree,
+}
+_PAIRS = (
+    ("covid", "genome"), ("covid", "osm"),
+    ("genome", "covid"), ("osm", "covid"),
+)
+
+
+def _run():
+    changes = {}
+    rows = []
+    for bulk_ds, insert_ds in _PAIRS:
+        bulk = list(dataset_keys(bulk_ds))
+        incoming = list(dataset_keys(insert_ds))
+        shifted = shift_workload(bulk, incoming, n_ops=N_OPS, seed=1,
+                                 name=f"{bulk_ds}->{insert_ds}")
+        baseline = mixed_workload(bulk, 0.5, n_ops=N_OPS, seed=1)
+        for name, factory in _INDEXES.items():
+            base = execute(factory(), baseline).throughput_mops
+            shift = execute(factory(), shifted).throughput_mops
+            delta = (shift - base) / base
+            changes[(bulk_ds, insert_ds, name)] = delta
+            rows.append([f"{bulk_ds}->{insert_ds}", name,
+                         f"{base:.2f}", f"{shift:.2f}", f"{delta:+.0%}"])
+    print_header("Figure 12: throughput change under distribution shift")
+    print(table(["Shift", "Index", "Baseline Mops", "Shifted Mops", "Change"],
+                rows))
+    return changes
+
+
+def test_fig12_distribution_shift(benchmark):
+    c = run_once(benchmark, _run)
+
+    def spread(name):
+        vals = [abs(v) for (b, i, n), v in c.items() if n == name]
+        return max(vals)
+
+    # Learned structure-adapting indexes move much more than traditional.
+    for learned in ("ALEX", "LIPP"):
+        assert spread(learned) > 2 * spread("ART"), learned
+        assert spread(learned) > 2 * spread("B+tree"), learned
+    # Traditional indexes are nearly flat.
+    assert spread("ART") < 0.25
+    assert spread("B+tree") < 0.25
+    # Easy -> hard hurts ALEX (the paper reports up to -52%).
+    assert c[("covid", "osm", "ALEX")] < -0.10
+    # PGM and XIndex absorb shifts better than ALEX on easy->hard.
+    assert abs(c[("covid", "osm", "PGM")]) < abs(c[("covid", "osm", "ALEX")])
+    assert abs(c[("covid", "osm", "XIndex")]) < abs(c[("covid", "osm", "ALEX")])

@@ -1,0 +1,51 @@
+"""Figure 13 — range query throughput under varying scan sizes.
+
+Bulk-load everything, issue fixed-size scans from random start keys,
+report keys accessed per second.  Paper shape: everyone speeds up as
+scans grow (less traversal per key), but LIPP's unified node layout —
+a branch per slot to tell data from child pointers — caps its gain
+(Message 12).
+"""
+
+from common import dataset_keys, print_header, run_once
+from repro import ALEX, ART, BPlusTree, HOT, LIPP, PGMIndex, XIndex, execute
+from repro.core.report import series
+from repro.core.workloads import scan_workload
+
+_SIZES = (10, 100, 1000, 10000)
+_INDEXES = {
+    "ALEX": ALEX, "LIPP": LIPP, "PGM": PGMIndex, "XIndex": XIndex,
+    "B+tree": BPlusTree, "ART": ART, "HOT": HOT,
+}
+_DATASET = "covid"
+
+
+def _run():
+    keys = list(dataset_keys(_DATASET))
+    curves = {}
+    print_header(f"Figure 13: range scan throughput on {_DATASET} "
+                 "(keys/second vs scan size)")
+    for name, factory in _INDEXES.items():
+        ys = []
+        for size in _SIZES:
+            n_scans = max(20, 2000 // size)
+            wl = scan_workload(keys, scan_size=size, n_scans=n_scans, seed=1)
+            r = execute(factory(), wl)
+            ys.append(r.scan_keys_per_second / 1e6)
+        curves[name] = ys
+        print(series(f"{name:8s}", _SIZES, [f"{y:.1f}M" for y in ys]))
+    return curves
+
+
+def test_fig13_range_queries(benchmark):
+    c = run_once(benchmark, _run)
+    # Throughput rises with scan size for every index except LIPP,
+    # whose per-slot branches eat the whole traversal saving.
+    for name, ys in c.items():
+        if name != "LIPP":
+            assert ys[-1] > 1.5 * ys[0], name
+    gains = {name: ys[-1] / ys[0] for name, ys in c.items()}
+    assert gains["LIPP"] == min(gains.values())
+    assert gains["LIPP"] < 1.5  # flat-to-marginal gain (Message 12)
+    # At large scans, B+tree-style sequential leaves beat LIPP.
+    assert c["B+tree"][-1] > c["LIPP"][-1]

@@ -1,0 +1,63 @@
+"""Figure 16 — "the world without this benchmark study".
+
+Before the paper's ALEX+/LIPP+ ports existed, the only concurrent
+learned indexes were XIndex and FINEdex.  The 24-core heatmap computed
+with just those against the concurrent traditional indexes shows
+ART-OLC dominating nearly everywhere — the paper's argument that,
+*yesterday*, updatable learned indexes were not ready.
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro.concurrency.adapters import MT_TRADITIONAL, FINEdexAdapter, XIndexAdapter
+from repro.concurrency.simcore import MulticoreSimulator, Topology
+from repro.core.heatmap import Heatmap, HeatmapCell
+from repro.core.workloads import MIX_FRACTIONS, MIX_NAMES, mixed_workload
+
+_THREADS = 24
+_DATASETS = ("covid", "libio", "books", "genome", "fb", "osm")
+_FRAC = dict(zip(MIX_NAMES, MIX_FRACTIONS))
+_OLD_LEARNED = {"XIndex": XIndexAdapter, "FINEdex": FINEdexAdapter}
+
+
+def _best(factories, wl, sim):
+    best_name, best_mops = "", -1.0
+    for name, factory in factories.items():
+        ad = factory()
+        ad.bulk_load(wl.bulk_items)
+        r = sim.run(ad, wl.operations, threads=_THREADS)
+        if r.throughput_mops > best_mops:
+            best_name, best_mops = name, r.throughput_mops
+    return best_name, best_mops
+
+
+def _run():
+    sim = MulticoreSimulator(Topology(sockets=1))
+    hm = Heatmap(datasets=list(_DATASETS), workloads=list(MIX_NAMES))
+    winners = {}
+    for ds in _DATASETS:
+        keys = list(dataset_keys(ds))
+        for wl_name in MIX_NAMES:
+            wl = mixed_workload(keys, _FRAC[wl_name], n_ops=N_OPS, seed=1)
+            bl = _best(_OLD_LEARNED, wl, sim)
+            bt = _best(MT_TRADITIONAL, wl, sim)
+            cell = HeatmapCell(ds, wl_name, bl[0], bt[0], bl[1], bt[1])
+            hm.cells[(ds, wl_name)] = cell
+            winners[(ds, wl_name)] = bl[0] if cell.learned_wins else bt[0]
+    print_header(
+        "Figure 16: 24-core heatmap with only XIndex/FINEdex as learned"
+    )
+    print(hm.render())
+    print(f"\nLearned-index win fraction: {hm.learned_win_fraction():.0%} "
+          "(paper: traditional indexes dominate)")
+    return hm, winners
+
+
+def test_fig16_world_without_study(benchmark):
+    hm, winners = run_once(benchmark, _run)
+    # Without ALEX+/LIPP+, traditional indexes dominate the heatmap.
+    assert hm.learned_win_fraction() < 0.35
+    # ART-OLC is the modal winner.
+    from collections import Counter
+
+    counts = Counter(winners.values())
+    assert counts.most_common(1)[0][0] == "ART-OLC"

@@ -1,0 +1,63 @@
+"""Figure 2 — single-threaded throughput heatmap (insert mixes).
+
+Best learned vs best traditional index on every (dataset, workload)
+cell.  Paper shape: learned indexes win >80% of the space (Message 1);
+losses concentrate on hard data with >=50% writes (Message 3); learned
+indexes win all read-only/read-intensive cells regardless of hardness
+(Message 4).  PGM is reported separately below the heatmap, as in the
+paper (its LSM inserts top the 100%-write column for non-learned-index
+reasons).
+"""
+
+from common import (
+    HEATMAP_DATASETS,
+    N_OPS,
+    ST_LEARNED,
+    ST_TRADITIONAL,
+    dataset_keys,
+    print_header,
+    run_once,
+)
+from repro import PGMIndex, execute, mixed_workload
+from repro.core.heatmap import compute_heatmap
+from repro.core.workloads import MIX_FRACTIONS, MIX_NAMES
+
+_FRAC = dict(zip(MIX_NAMES, MIX_FRACTIONS))
+
+
+def _build(keys, workload_name):
+    return mixed_workload(list(keys), _FRAC[workload_name], n_ops=N_OPS, seed=1)
+
+
+def _run():
+    data = {name: dataset_keys(name) for name in HEATMAP_DATASETS}
+    hm = compute_heatmap(
+        data, _build, MIX_NAMES,
+        learned={k: v for k, v in ST_LEARNED.items()},
+        traditional={k: v for k, v in ST_TRADITIONAL.items()},
+    )
+    print_header("Figure 2: single-threaded throughput heatmap")
+    print(hm.render())
+    print(f"\nLearned-index win fraction: {hm.learned_win_fraction():.0%} "
+          f"(paper: >80%)")
+    # PGM on the write-only column, reported separately.
+    print("\nPGM (write-only column, Mops):")
+    for ds in ("covid", "osm"):
+        wl = _build(dataset_keys(ds), "write-only")
+        r = execute(PGMIndex(), wl)
+        print(f"  {ds}: {r.throughput_mops:.2f}")
+    return hm
+
+
+def test_fig2_heatmap(benchmark):
+    hm = run_once(benchmark, _run)
+    # Message 1: learned indexes win over 80% of the space.
+    assert hm.learned_win_fraction() >= 0.72
+    # Message 4: read-only and read-intensive are all learned wins.
+    for ds in HEATMAP_DATASETS:
+        assert hm.cell(ds, "read-only").learned_wins, ds
+        assert hm.cell(ds, "read-intensive").learned_wins, ds
+    # The winners are ALEX/LIPP (learned) and ART (traditional).
+    winners_l = {c.best_learned for c in hm.cells.values() if c.learned_wins}
+    assert winners_l <= {"ALEX", "LIPP", "XIndex", "FINEdex"}
+    assert {"ALEX", "LIPP"} & winners_l

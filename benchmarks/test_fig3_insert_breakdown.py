@@ -1,0 +1,77 @@
+"""Figure 3 — time breakdown of insert operations.
+
+Write-only workload on two easy datasets (covid, libio), the locally
+hardest (genome) and the globally hardest (osm); ALEX and LIPP against
+ART and B+tree.  The paper's findings:
+
+* learned indexes have the cheaper *first step* (the lookup part of an
+  insert) except on osm,
+* the *remaining* steps (collision resolution, SMOs, statistics) cost
+  them more than ART, and worsen with hardness,
+* the statistics-update component is pronounced in LIPP.
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro import ALEX, ART, BPlusTree, LIPP, execute, mixed_workload
+from repro.core.cost import (
+    PHASE_COLLISION,
+    PHASE_SEARCH,
+    PHASE_SMO,
+    PHASE_STATS,
+    PHASE_TRAVERSE,
+)
+from repro.core.report import table
+
+_DATASETS = ("covid", "libio", "genome", "osm")
+_INDEXES = {"ALEX": ALEX, "LIPP": LIPP, "ART": ART, "B+tree": BPlusTree}
+
+
+def _run():
+    results = {}
+    rows = []
+    for ds in _DATASETS:
+        wl = mixed_workload(list(dataset_keys(ds)), 1.0, n_ops=N_OPS, seed=1)
+        for name, factory in _INDEXES.items():
+            r = execute(factory(), wl)
+            n = max(r.insert_stats.inserts, 1)
+            lookup_part = (r.phase_ns.get(PHASE_TRAVERSE, 0)
+                           + r.phase_ns.get(PHASE_SEARCH, 0)) / n
+            collision = r.phase_ns.get(PHASE_COLLISION, 0) / n
+            smo = r.phase_ns.get(PHASE_SMO, 0) / n
+            stats = r.phase_ns.get(PHASE_STATS, 0) / n
+            total = lookup_part + collision + smo + stats
+            results[(ds, name)] = {
+                "lookup": lookup_part, "collision": collision,
+                "smo": smo, "stats": stats, "total": total,
+            }
+            rows.append([ds, name, f"{lookup_part:.0f}", f"{collision:.0f}",
+                         f"{smo:.0f}", f"{stats:.0f}", f"{total:.0f}"])
+    print_header("Figure 3: insert time breakdown (virtual ns per insert)")
+    print(table(
+        ["Dataset", "Index", "Lookup-step", "Collision", "SMO", "Stats", "Total"],
+        rows,
+    ))
+    return results
+
+
+def test_fig3_insert_breakdown(benchmark):
+    b = run_once(benchmark, _run)
+    # Learned indexes' first step beats ART's on easy data...
+    for ds in ("covid", "libio"):
+        assert b[(ds, "LIPP")]["lookup"] < b[(ds, "ART")]["lookup"], ds
+    # ...but not on osm (the paper's exception).
+    assert b[("osm", "ALEX")]["lookup"] > b[("covid", "ALEX")]["lookup"]
+    # The remaining insert steps cost learned indexes more than ART.
+    for ds in _DATASETS:
+        alex_rest = b[(ds, "ALEX")]["collision"] + b[(ds, "ALEX")]["smo"]
+        art_rest = b[(ds, "ART")]["collision"] + b[(ds, "ART")]["smo"]
+        assert alex_rest > art_rest, ds
+    # ALEX's collision (shifting) cost worsens with hardness.
+    assert b[("osm", "ALEX")]["collision"] > b[("covid", "ALEX")]["collision"]
+    # Stats cost is pronounced in LIPP (vs ALEX).
+    for ds in _DATASETS:
+        assert b[(ds, "LIPP")]["stats"] > b[(ds, "ALEX")]["stats"], ds
+    # LIPP's collision resolution is cheaper than ALEX's on hard data
+    # (Message 5: node chaining vs key shifting).
+    assert b[("osm", "LIPP")]["collision"] < b[("osm", "ALEX")]["collision"]
+    assert b[("genome", "LIPP")]["collision"] < b[("genome", "ALEX")]["collision"]

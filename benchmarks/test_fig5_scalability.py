@@ -1,0 +1,67 @@
+"""Figure 5 — throughput scaling from 2 to 24 cores (+ hyper-threading).
+
+Read-only (top), balanced (middle) and write-only (bottom) rows on an
+easy (covid) and a hard (osm) dataset.  The grey 36/48-thread region
+uses hyper-threads.  Paper shape:
+
+* everyone scales on read-only,
+* LIPP+ stops scaling the moment writes appear (per-path atomic stats),
+  and hyper-threading makes it *worse*,
+* ALEX+ scales until memory bandwidth saturates (~24 threads),
+* Wormhole's single inner-layer lock caps its write throughput.
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro.concurrency.adapters import MT_LEARNED, MT_TRADITIONAL
+from repro.concurrency.simcore import MulticoreSimulator, Topology
+from repro.core.report import series
+from repro.core.workloads import mixed_workload
+
+_THREAD_STEPS = (2, 4, 8, 16, 24, 36, 48)
+_WORKLOADS = (("read-only", 0.0), ("balanced", 0.5), ("write-only", 1.0))
+_DATASETS = ("covid", "osm")
+_ADAPTERS = {**MT_LEARNED, **MT_TRADITIONAL}
+
+
+def _run():
+    sim = MulticoreSimulator(Topology(sockets=1))
+    curves = {}
+    for ds in _DATASETS:
+        keys = list(dataset_keys(ds))
+        for wl_name, frac in _WORKLOADS:
+            wl = mixed_workload(keys, frac, n_ops=N_OPS, seed=1)
+            print_header(f"Figure 5: {wl_name} on {ds} (threads -> Mops)")
+            for name, factory in _ADAPTERS.items():
+                ad = factory()
+                ad.bulk_load(wl.bulk_items)
+                traces = sim.record(ad, wl.operations)
+                ys = [sim.replay(name, traces, t).throughput_mops for t in _THREAD_STEPS]
+                curves[(ds, wl_name, name)] = ys
+                print(series(f"{name:10s}", _THREAD_STEPS, [f"{y:.1f}" for y in ys]))
+    return curves
+
+
+def _gain(ys, lo_idx, hi_idx):
+    return ys[hi_idx] / max(ys[lo_idx], 1e-9)
+
+
+def test_fig5_scalability(benchmark):
+    c = run_once(benchmark, _run)
+    t = list(_THREAD_STEPS)
+    i2, i24, i48 = t.index(2), t.index(24), t.index(48)
+    # Read-only: every index scales well 2 -> 24 cores.
+    for ds in _DATASETS:
+        for name in _ADAPTERS:
+            assert _gain(c[(ds, "read-only", name)], i2, i24) > 5, (ds, name)
+    # LIPP+ cannot sustain scalability once writes appear: its curve is
+    # nearly flat from 8 to 24 cores while ALEX+ keeps climbing...
+    i8 = t.index(8)
+    for ds in _DATASETS:
+        assert _gain(c[(ds, "write-only", "LIPP+")], i8, i24) < 1.5, ds
+        assert _gain(c[(ds, "write-only", "ALEX+")], i8, i24) > 2.0, ds
+        # ...and hyper-threading hurts it.
+        ys = c[(ds, "write-only", "LIPP+")]
+        assert ys[i48] < ys[i24], ds
+    # Wormhole's write throughput saturates (single inner-layer lock).
+    ys = c[("covid", "write-only", "Wormhole")]
+    assert ys[i48] < 1.4 * ys[i24]

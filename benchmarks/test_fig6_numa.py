@@ -1,0 +1,73 @@
+"""Figure 6 — throughput under varying socket counts (Interleave).
+
+Threads = 24 x sockets.  Paper shape: diminishing returns beyond one
+socket for everyone; ALEX+ gains little (or dips) at two sockets —
+the single cross-socket link bottlenecks its bandwidth-hungry write
+path — then recovers with more links at 3-4 sockets; Masstree crumbles
+when writes are present (write amplification + CC exhaust cross-socket
+bandwidth); LIPP+ stays flat regardless (root ping-pong dominates).
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro.concurrency.adapters import (
+    ALEXPlus,
+    ARTOLC,
+    BTreeOLC,
+    LIPPPlus,
+    MasstreeAdapter,
+)
+from repro.concurrency.simcore import MulticoreSimulator, Topology
+from repro.core.report import series
+from repro.core.workloads import mixed_workload
+
+_SOCKETS = (1, 2, 3, 4)
+_ADAPTERS = {
+    "ALEX+": ALEXPlus, "LIPP+": LIPPPlus, "ART-OLC": ARTOLC,
+    "B+TreeOLC": BTreeOLC, "Masstree": MasstreeAdapter,
+}
+_WORKLOADS = (("read-only", 0.0), ("balanced", 0.5))
+_DATASETS = ("covid", "osm")
+
+
+def _run():
+    curves = {}
+    for ds in _DATASETS:
+        keys = list(dataset_keys(ds))
+        for wl_name, frac in _WORKLOADS:
+            wl = mixed_workload(keys, frac, n_ops=N_OPS, seed=1)
+            print_header(f"Figure 6: {wl_name} on {ds} (sockets -> Mops, T=24*S)")
+            for name, factory in _ADAPTERS.items():
+                ad = factory()
+                ad.bulk_load(wl.bulk_items)
+                sim1 = MulticoreSimulator(Topology(sockets=1))
+                traces = sim1.record(ad, wl.operations)
+                ys = []
+                for s in _SOCKETS:
+                    sim = MulticoreSimulator(Topology(sockets=s))
+                    ys.append(sim.replay(name, traces, 24 * s).throughput_mops)
+                curves[(ds, wl_name, name)] = ys
+                print(series(f"{name:10s}", _SOCKETS, [f"{y:.1f}" for y in ys]))
+    return curves
+
+
+def test_fig6_numa(benchmark):
+    c = run_once(benchmark, _run)
+    # Diminishing returns: nobody reaches 4x at 4 sockets.
+    for key, ys in c.items():
+        assert ys[3] < 4.0 * ys[0], key
+    # ALEX+ two-socket penalty on the write-bearing workload, with
+    # recovery at four sockets (more interconnect links).
+    for ds in _DATASETS:
+        ys = c[(ds, "balanced", "ALEX+")]
+        assert ys[1] < 1.55 * ys[0], ds     # weak (or negative) 2-socket gain
+        assert ys[3] > ys[1], ds            # recovers with more links
+    # Masstree trails the traditional leader once writes are involved
+    # (on easy data it also trails ALEX+; on osm ALEX+ itself is crushed
+    # by write-amplification bandwidth, as in the paper).
+    for ds in _DATASETS:
+        m = c[(ds, "balanced", "Masstree")][3]
+        assert m < c[(ds, "balanced", "ART-OLC")][3], ds
+    assert c[("covid", "balanced", "Masstree")][3] < c[("covid", "balanced", "ALEX+")][3]
+    # LIPP+ stays flat across sockets under writes.
+    ys = c[("covid", "balanced", "LIPP+")]
+    assert ys[3] < 1.5 * ys[0]

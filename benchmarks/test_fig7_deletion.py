@@ -1,0 +1,53 @@
+"""Figure 7 — single-threaded throughput heatmap under deletion mixes.
+
+Bulk load everything, then lookup/delete mixes until half the keys are
+gone.  Only indexes with deletion support participate (ALEX, LIPP, the
+paper's own extension; ART and STX B+-tree; PGM via tombstones).  Paper
+shape: learned indexes take *more* territory than in the insert
+heatmap, even on hard data, because deletions cause no model pollution
+(Message 8).
+"""
+
+from common import HEATMAP_DATASETS, N_OPS, dataset_keys, print_header, run_once
+from repro import ALEX, ART, BPlusTree, LIPP, execute
+from repro.core.heatmap import Heatmap, HeatmapCell
+from repro.core.workloads import deletion_workload
+
+_FRACS = (0.0, 0.2, 0.5, 0.8, 1.0)
+_NAMES = tuple(f"{int(f * 100)}%-delete" for f in _FRACS)
+_LEARNED = {"ALEX": ALEX, "LIPP": LIPP}
+_TRADITIONAL = {"ART": ART, "B+tree": BPlusTree}
+
+
+def _run():
+    hm = Heatmap(datasets=list(HEATMAP_DATASETS), workloads=list(_NAMES))
+    for ds in HEATMAP_DATASETS:
+        keys = list(dataset_keys(ds))
+        for frac, wl_name in zip(_FRACS, _NAMES):
+            wl = deletion_workload(keys, frac, n_ops=N_OPS, seed=1)
+            best_l, best_t = ("", -1.0), ("", -1.0)
+            for name, factory in _LEARNED.items():
+                mops = execute(factory(), wl).throughput_mops
+                if mops > best_l[1]:
+                    best_l = (name, mops)
+            for name, factory in _TRADITIONAL.items():
+                mops = execute(factory(), wl).throughput_mops
+                if mops > best_t[1]:
+                    best_t = (name, mops)
+            hm.cells[(ds, wl_name)] = HeatmapCell(
+                ds, wl_name, best_l[0], best_t[0], best_l[1], best_t[1]
+            )
+    print_header("Figure 7: deletion-mix heatmap (single thread)")
+    print(hm.render())
+    print(f"\nLearned-index win fraction: {hm.learned_win_fraction():.0%}")
+    return hm
+
+
+def test_fig7_deletion_heatmap(benchmark):
+    hm = run_once(benchmark, _run)
+    # Learned indexes dominate the deletion space (Message 8)...
+    assert hm.learned_win_fraction() >= 0.8
+    # ...including hard datasets at high delete fractions, where the
+    # *insert* heatmap had traditional wins (no model pollution).
+    assert hm.cell("osm", "80%-delete").learned_wins
+    assert hm.cell("genome", "100%-delete").learned_wins

@@ -1,0 +1,64 @@
+"""Figure 8 — end-to-end memory space efficiency.
+
+The paper's protocol: bulk-load half the keys, insert the rest
+(write-only workload), then measure the WHOLE index, leaf layer
+included.  Paper shape (Message 9):
+
+* the most space-efficient learned index (PGM) is at most ~3.2x
+  smaller than the largest traditional index (ART),
+* every learned index uses more space than HOT,
+* LIPP is the most memory-hungry (4-5x ALEX): space traded for speed.
+"""
+
+from common import dataset_keys, print_header, run_once
+from repro import ALEX, ART, BPlusTree, FINEdex, HOT, LIPP, PGMIndex, XIndex
+from repro.core.memory import measure_after_write_only, space_saving_ratio
+from repro.core.report import format_bytes, table
+
+_INDEXES = {
+    "ALEX": ALEX, "LIPP": LIPP, "PGM": PGMIndex, "XIndex": XIndex,
+    "FINEdex": FINEdex, "ART": ART, "B+tree": BPlusTree, "HOT": HOT,
+}
+_LEARNED = ("ALEX", "LIPP", "PGM", "XIndex", "FINEdex")
+_TRADITIONAL = ("ART", "B+tree", "HOT")
+_DATASETS = ("covid", "fb", "osm")
+
+
+def _run():
+    all_reports = {}
+    for ds in _DATASETS:
+        keys = list(dataset_keys(ds))
+        reports = {
+            name: measure_after_write_only(factory, keys)
+            for name, factory in _INDEXES.items()
+        }
+        all_reports[ds] = reports
+        rows = [
+            [name, format_bytes(r.breakdown.total), f"{r.bytes_per_key:.1f}",
+             f"{r.inner_fraction:.1%}"]
+            for name, r in sorted(reports.items(), key=lambda kv: kv[1].breakdown.total)
+        ]
+        print_header(f"Figure 8: end-to-end index size after write-only ({ds})")
+        print(table(["Index", "Total", "Bytes/key", "Inner share"], rows))
+        ratio = space_saving_ratio(reports, _LEARNED, _TRADITIONAL)
+        print(f"largest-traditional / smallest-learned = {ratio:.1f}x "
+              f"(paper: at most ~3.2x)")
+    return all_reports
+
+
+def test_fig8_memory(benchmark):
+    reports = run_once(benchmark, _run)
+    for ds, r in reports.items():
+        total = {name: rep.breakdown.total for name, rep in r.items()}
+        # Every learned index uses more space than HOT (Message 9).
+        for name in _LEARNED:
+            assert total[name] > total["HOT"], (ds, name)
+        # LIPP is the most memory-hungry index of all.
+        assert total["LIPP"] == max(total.values()), ds
+        # LIPP costs a multiple of ALEX (the paper reports 4-5x).
+        assert total["LIPP"] > 2.0 * total["ALEX"], ds
+        # The headline saving is bounded (<= ~4x, paper: 3.2x).
+        ratio = space_saving_ratio(r, _LEARNED, _TRADITIONAL)
+        assert ratio < 4.5, ds
+        # ART is the largest traditional index.
+        assert total["ART"] == max(total[n] for n in _TRADITIONAL), ds

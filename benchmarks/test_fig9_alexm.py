@@ -1,0 +1,64 @@
+"""Figure 9 — ALEX-M vs LIPP at matched memory budgets.
+
+The paper tunes ALEX's data-node fill factor down to ~0.2-0.25 so the
+index uses roughly LIPP's memory, then shows LIPP's single-thread edge
+is a space-for-speed trade: with the same space, ALEX's inserts almost
+always find a gap (few shifts, models stay accurate) and its lookups
+improve significantly.
+
+Reproduction note (see EXPERIMENTS.md): the *mechanism* — matched
+memory, far fewer shifts, faster lookups than default ALEX — fully
+reproduces.  The strict "ALEX-M lookup > LIPP lookup" crossover does
+not at simulation scale: LIPP's compute-only traversal is ~1.1 nodes
+deep on 6k keys, cheaper than any two-level structure.  The printed
+table reports both so the gap is visible.
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro import ALEX, LIPP, execute, mixed_workload
+from repro.core.report import table
+
+_DATASETS = ("covid", "genome")
+#: Fill factor tuned down, as in the paper (min/avg/max densities).
+_ALEX_M_DENSITY = (0.15, 0.2, 0.25)
+
+
+def _measure(factory, keys):
+    wl_write = mixed_workload(keys, 1.0, seed=1)
+    idx = factory()
+    write = execute(idx, wl_write)
+    mem = idx.memory_usage().total
+    shifts = write.insert_stats.averages()["keys_shifted"]
+    read = execute(factory(), mixed_workload(keys, 0.0, n_ops=N_OPS, seed=2))
+    return {"mem": mem, "shifts": shifts, "read_mops": read.throughput_mops}
+
+
+def _run():
+    out = {}
+    rows = []
+    for ds in _DATASETS:
+        keys = list(dataset_keys(ds))
+        alex = _measure(ALEX, keys)
+        alexm = _measure(lambda: ALEX(density_bounds=_ALEX_M_DENSITY), keys)
+        lipp = _measure(LIPP, keys)
+        out[ds] = {"ALEX": alex, "ALEX-M": alexm, "LIPP": lipp}
+        for name, v in (("ALEX", alex), ("ALEX-M", alexm), ("LIPP", lipp)):
+            rows.append([ds, name, f"{v['mem']/1024:.0f}KB",
+                         f"{v['shifts']:.1f}", f"{v['read_mops']:.2f}"])
+    print_header("Figure 9: ALEX-M (fill 0.2) vs LIPP at matched memory")
+    print(table(["Dataset", "Index", "Memory", "Shifts/insert", "Read Mops"], rows))
+    return out
+
+
+def test_fig9_alex_m(benchmark):
+    r = run_once(benchmark, _run)
+    for ds, v in r.items():
+        # ALEX-M's memory is in LIPP's ballpark (the matched budget)...
+        assert 0.3 < v["ALEX-M"]["mem"] / v["LIPP"]["mem"] < 3.0, ds
+        # ...and far above default ALEX's.
+        assert v["ALEX-M"]["mem"] > 2.0 * v["ALEX"]["mem"], ds
+        # The paper's mechanism: with low density an insert usually finds
+        # a gap, so shifting (write amplification) collapses...
+        assert v["ALEX-M"]["shifts"] < 0.6 * v["ALEX"]["shifts"], ds
+        # ...without costing lookups.
+        assert v["ALEX-M"]["read_mops"] >= 0.9 * v["ALEX"]["read_mops"], ds

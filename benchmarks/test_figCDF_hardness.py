@@ -1,0 +1,81 @@
+"""Appendix D (Figures C, D, F) — validating the hardness metrics.
+
+A good hardness approximation should rank datasets the way learned
+indexes actually perform: higher H → lower throughput.  The paper
+checks the balanced-workload throughput of ALEX and LIPP against
+
+* local hardness (small-ε PLA, Figure C),
+* global hardness (large-ε PLA, Figure D),
+* the MSE-of-one-line alternative (Figure F), which fails: a few
+  extreme outliers (fb) blow MSE up without making the data much
+  harder in practice.
+"""
+
+from common import HEATMAP_DATASETS, N_KEYS, N_OPS, dataset_keys, print_header, run_once
+from repro import ALEX, LIPP, execute, mixed_workload
+from repro.core.hardness import mse_hardness, pla_hardness
+from repro.core.report import table
+from repro.datasets.registry import scaled_epsilons
+
+
+def _rank_correlation(xs, ys):
+    """Spearman rank correlation (no scipy dependency needed)."""
+    def ranks(v):
+        order = sorted(range(len(v)), key=lambda i: v[i])
+        r = [0.0] * len(v)
+        for rank, i in enumerate(order):
+            r[i] = rank
+        return r
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    d2 = sum((a - b) ** 2 for a, b in zip(rx, ry))
+    return 1 - 6 * d2 / (n * (n * n - 1))
+
+
+def _run():
+    g_eps, l_eps = scaled_epsilons(N_KEYS)
+    metrics = {}
+    rows = []
+    for ds in HEATMAP_DATASETS:
+        keys = list(dataset_keys(ds))
+        wl = mixed_workload(keys, 0.5, n_ops=N_OPS, seed=1)
+        alex = execute(ALEX(), wl).throughput_mops
+        lipp = execute(LIPP(), wl).throughput_mops
+        metrics[ds] = {
+            "local": pla_hardness(keys, l_eps),
+            "global": pla_hardness(keys, g_eps),
+            "mse": mse_hardness(keys),
+            "alex": alex,
+            "lipp": lipp,
+        }
+        m = metrics[ds]
+        rows.append([ds, m["local"], m["global"], f"{m['mse']:.3g}",
+                     f"{alex:.2f}", f"{lipp:.2f}"])
+    print_header("Figures C/D/F: hardness metrics vs balanced throughput")
+    print(table(["Dataset", f"H(eps={l_eps})", f"H(eps={g_eps})", "MSE",
+                 "ALEX Mops", "LIPP Mops"], rows))
+    combined = {
+        ds: m["local"] + 8 * m["global"] for ds, m in metrics.items()
+    }
+    mean_tp = {ds: (m["alex"] + m["lipp"]) / 2 for ds, m in metrics.items()}
+    corr = _rank_correlation(
+        [combined[ds] for ds in HEATMAP_DATASETS],
+        [mean_tp[ds] for ds in HEATMAP_DATASETS],
+    )
+    print(f"\nSpearman(combined PLA hardness, mean learned throughput) = {corr:.2f}")
+    return metrics, corr
+
+
+def test_figCDF_hardness_validation(benchmark):
+    metrics, corr = run_once(benchmark, _run)
+    # Harder (by combined PLA) must broadly mean slower: strong negative
+    # rank correlation.
+    assert corr < -0.5
+    # Figure F's point: MSE overrates fb (outliers) — fb's MSE dwarfs
+    # osm's even though the indexes perform comparably or better on fb.
+    assert metrics["fb"]["mse"] > 5 * metrics["osm"]["mse"]
+    assert metrics["fb"]["alex"] > 0.7 * metrics["osm"]["alex"]
+    # The extremes anchor the scale: osm slower than covid for both.
+    assert metrics["osm"]["alex"] < metrics["covid"]["alex"]
+    assert metrics["osm"]["lipp"] < metrics["covid"]["lipp"]

@@ -1,0 +1,46 @@
+"""Table 1 — configurations of the evaluated learned indexes.
+
+Prints the configuration each index instance actually runs with and
+checks they match the paper's values (scaled knobs noted inline).
+"""
+
+from common import print_header, run_once
+from repro import ALEX, FINEdex, LIPP, PGMIndex, XIndex
+from repro.concurrency.adapters import ALEXPlus
+from repro.core.report import table
+
+
+def _collect():
+    alex = ALEX()
+    alex_plus = ALEXPlus()
+    lipp = LIPP()
+    pgm = PGMIndex()
+    xindex = XIndex()
+    finedex = FINEdex()
+    rows = [
+        ["ALEX", f"max data node keys: {alex.max_data_keys}; "
+                 f"density min/avg/max: {alex.min_density}/{alex.avg_density}/{alex.max_density}"],
+        ["ALEX+", f"max data node keys: {alex_plus.index.max_data_keys} (512KB cap); "
+                  f"lock: one optimistic lock per data node"],
+        ["LIPP(+)", f"density: {lipp.density}; max node slots: {lipp.max_node_slots}; "
+                    f"inserted/conflict ratio: {lipp.insert_ratio}/{lipp.conflict_ratio}"],
+        ["PGM-Index", f"error bound: {pgm.epsilon}"],
+        ["XIndex", f"error bound: {xindex.epsilon}; delta size: {xindex.delta_size}; "
+                   f"max models per group: {xindex.max_models_per_group}"],
+        ["FINEdex", f"error bound: {finedex.epsilon}"],
+    ]
+    print_header("Table 1: Configurations of learned indexes")
+    print(table(["Index", "Parameters"], rows))
+    return alex, lipp, pgm, xindex, finedex
+
+
+def test_table1_configurations(benchmark):
+    alex, lipp, pgm, xindex, finedex = run_once(benchmark, _collect)
+    # Paper values (Table 1).
+    assert (alex.min_density, alex.avg_density, alex.max_density) == (0.6, 0.7, 0.8)
+    assert lipp.density == 0.5
+    assert (lipp.insert_ratio, lipp.conflict_ratio) == (2.0, 0.1)
+    assert pgm.epsilon == 64
+    assert xindex.epsilon == 32 and xindex.delta_size == 256
+    assert xindex.max_models_per_group == 4
+    assert finedex.epsilon == 32

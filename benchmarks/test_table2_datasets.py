@@ -1,0 +1,55 @@
+"""Table 2 + Figure 1 — datasets, their CDFs, and hardness positions.
+
+Prints the dataset inventory with measured (global, local) PLA hardness
+— the axes of every heatmap — and the CDF deciles of planet and genome
+that Figure 1 plots (planet's sharp deflection; genome's smooth global
+shape hiding local bumps).
+"""
+
+from common import HEATMAP_DATASETS, N_KEYS, dataset_keys, print_header, run_once
+from repro.core.hardness import pla_hardness
+from repro.core.report import table
+from repro.datasets import registry
+from repro.datasets.registry import scaled_epsilons
+
+
+def _run():
+    g_eps, l_eps = scaled_epsilons(N_KEYS)
+    rows = []
+    hardness = {}
+    for name in HEATMAP_DATASETS:
+        ds = registry.get(name)
+        keys = list(dataset_keys(name))
+        g = pla_hardness(keys, g_eps)
+        l = pla_hardness(keys, l_eps)
+        hardness[name] = (g, l)
+        rows.append([name, ds.description, ds.hardness_class, g, l])
+    print_header(
+        f"Table 2: datasets (n={N_KEYS}, PLA eps global={g_eps} local={l_eps})"
+    )
+    print(table(
+        ["Dataset", "Description", "Class", f"H(eps={g_eps})", f"H(eps={l_eps})"],
+        rows,
+    ))
+
+    print_header("Figure 1: CDF deciles (key value at each 10% of ranks)")
+    for name in ("planet", "genome"):
+        keys = list(dataset_keys(name))
+        deciles = [keys[int(q * (len(keys) - 1) / 10)] for q in range(11)]
+        norm = [f"{k / deciles[-1]:.4f}" for k in deciles]
+        print(f"{name:8s}: {' '.join(norm)}")
+    return hardness
+
+
+def test_table2_dataset_hardness(benchmark):
+    H = run_once(benchmark, _run)
+    # planet: keys stay tiny until the deflection (Figure 1a).
+    planet = list(dataset_keys("planet"))
+    assert planet[int(0.69 * len(planet))] < planet[-1] / 100
+    # Hardness plane matches the paper: osm/planet globally hardest,
+    # fb/genome locally hardest, genome globally smooth.
+    easy_g = max(H[n][0] for n in ("covid", "libio", "stack", "wiki"))
+    assert H["osm"][0] > easy_g and H["planet"][0] > easy_g
+    assert H["fb"][1] > H["planet"][1]
+    assert H["genome"][1] > H["planet"][1]
+    assert H["genome"][0] <= easy_g + 2

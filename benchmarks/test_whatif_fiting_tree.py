@@ -1,0 +1,54 @@
+"""What-if — where would FITing-Tree have landed?
+
+The paper excluded FITing-Tree for lack of an open-source
+implementation (Section 3.1).  Having built it from the description,
+we can run the comparison the authors could not: FITing-Tree against
+its delta-merge siblings (XIndex, FINEdex) and the heatmap winners
+(ALEX, LIPP, ART) across the insert mixes.
+
+Expectation from the paper's taxonomy: as an error-driven, delta-merge
+design it should land in XIndex/FINEdex territory — competitive reads,
+mid-pack writes — and below the sparse-node leaders.  This bench tests
+that the taxonomy's prediction holds for our implementation.
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro import ALEX, ART, FINEdex, FITingTree, LIPP, XIndex, execute, mixed_workload
+from repro.core.report import table
+
+_INDEXES = {
+    "FITing-Tree": FITingTree, "XIndex": XIndex, "FINEdex": FINEdex,
+    "ALEX": ALEX, "LIPP": LIPP, "ART": ART,
+}
+_DATASETS = ("covid", "genome")
+_MIXES = ((0.0, "read-only"), (0.5, "balanced"), (1.0, "write-only"))
+
+
+def _run():
+    out = {}
+    rows = []
+    for ds in _DATASETS:
+        keys = list(dataset_keys(ds))
+        for frac, label in _MIXES:
+            wl = mixed_workload(keys, frac, n_ops=N_OPS, seed=1)
+            for name, factory in _INDEXES.items():
+                out[(ds, label, name)] = execute(factory(), wl).throughput_mops
+            rows.append([ds, label] + [f"{out[(ds, label, n)]:.2f}" for n in _INDEXES])
+    print_header("What-if: FITing-Tree vs the evaluated field")
+    print(table(["Dataset", "Workload"] + list(_INDEXES), rows))
+    return out
+
+
+def test_whatif_fiting_tree(benchmark):
+    r = run_once(benchmark, _run)
+    for ds in _DATASETS:
+        # Delta-merge territory: the same order of magnitude as XIndex/
+        # FINEdex on every mix...
+        for _, label in _MIXES:
+            fit = r[(ds, label, "FITing-Tree")]
+            peers = (r[(ds, label, "XIndex")], r[(ds, label, "FINEdex")])
+            assert 0.3 * min(peers) < fit < 3.0 * max(peers), (ds, label)
+        # ...and below the sparse-node leader on reads (the taxonomy's
+        # prediction — Section 2's design-dimension analysis).
+        best_sparse = max(r[(ds, "read-only", "ALEX")], r[(ds, "read-only", "LIPP")])
+        assert r[(ds, "read-only", "FITing-Tree")] < best_sparse, ds

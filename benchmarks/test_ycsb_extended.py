@@ -1,0 +1,48 @@
+"""Extension — the full YCSB core suite (D, E, F beyond the paper's A-C).
+
+The paper stops at YCSB A/B/C (Appendix E).  D (read-latest with
+inserts), E (short scans with inserts) and F (read-modify-write)
+exercise dimensions the A-C trio misses:
+
+* D reintroduces *inserts* under a latest-skewed read pattern — LIPP's
+  per-path statistics tax returns (unlike update-only A),
+* E is the zipfian-start short-scan case — LIPP's unified-node branch
+  penalty (Message 12) shows up in a workload, not just a microbench,
+* F doubles the point-access rate without structural writes — everyone
+  behaves like a read workload.
+"""
+
+from common import N_OPS, dataset_keys, print_header, run_once
+from repro import ALEX, ART, BPlusTree, LIPP, execute
+from repro.core.report import table
+from repro.core.workloads import ycsb_workload
+
+_INDEXES = {"ALEX": ALEX, "LIPP": LIPP, "ART": ART, "B+tree": BPlusTree}
+_DATASET = "covid"
+
+
+def _run():
+    keys = list(dataset_keys(_DATASET))
+    out = {}
+    rows = []
+    for variant in ("D", "E", "F"):
+        wl = ycsb_workload(keys, variant, n_ops=N_OPS, seed=1)
+        for name, factory in _INDEXES.items():
+            out[(variant, name)] = execute(factory(), wl).throughput_mops
+        rows.append([variant] + [f"{out[(variant, n)]:.2f}" for n in _INDEXES])
+    print_header(f"YCSB D/E/F on {_DATASET} (Mops, single thread)")
+    print(table(["YCSB"] + list(_INDEXES), rows))
+    return out
+
+
+def test_ycsb_extended(benchmark):
+    r = run_once(benchmark, _run)
+    # F is effectively a read workload: the learned leaders hold it.
+    assert max(r[("F", "ALEX")], r[("F", "LIPP")]) > r[("F", "ART")]
+    # E (scan-heavy): LIPP's unified nodes lose their lookup edge; a
+    # sorted-leaf structure (ALEX or B+tree) leads.
+    best_sorted = max(r[("E", "ALEX")], r[("E", "B+tree")])
+    assert best_sorted > r[("E", "LIPP")]
+    # D keeps everyone within a sane band (reads dominate).
+    vals = [r[("D", n)] for n in _INDEXES]
+    assert max(vals) < 10 * min(vals)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Memory capacity planning — Section 5 as an operations exercise.
+
+Indexes can eat ~55% of an in-memory OLTP database's RAM (the paper
+cites [61]).  Given a fleet budget of bytes per key, which index fits,
+and what throughput does each budget buy?  This example measures
+end-to-end sizes *after* a write-heavy day (the honest number: leaf
+layers included) and lines them up against throughput, reproducing
+Message 9's punchline — memory saving is NOT a given with learned
+indexes; it is a trade you must check.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import ALEX, ART, BPlusTree, HOT, LIPP, PGMIndex, execute, mixed_workload
+from repro.core.memory import measure_after_write_only
+from repro.core.report import format_bytes, table
+from repro.datasets import registry
+
+N = 12_000
+BUDGET_BYTES_PER_KEY = 24.0
+
+
+def main() -> None:
+    keys = registry.get("books").generate(N, seed=5)
+    factories = {
+        "ALEX": ALEX, "LIPP": LIPP, "PGM": PGMIndex,
+        "ART": ART, "B+tree": BPlusTree, "HOT": HOT,
+    }
+    rows = []
+    for name, factory in factories.items():
+        report = measure_after_write_only(factory, keys)
+        balanced = execute(factory(), mixed_workload(keys, 0.5, n_ops=N, seed=6))
+        fits = report.bytes_per_key <= BUDGET_BYTES_PER_KEY
+        rows.append([
+            name,
+            format_bytes(report.breakdown.total),
+            f"{report.bytes_per_key:.1f}",
+            f"{report.inner_fraction:.0%}",
+            f"{balanced.throughput_mops:.2f}",
+            "yes" if fits else "NO",
+        ])
+    rows.sort(key=lambda r: float(r[2]))
+    print(table(
+        ["Index", "Total", "B/key", "inner %", "Mops (balanced)",
+         f"fits {BUDGET_BYTES_PER_KEY:.0f} B/key?"],
+        rows,
+        title="End-to-end index size after a write-only day (books)",
+    ))
+    print("\nNotes: sizes include the leaf layer (the paper's end-to-end")
+    print("measurement). HOT and ART index external records; the learned")
+    print("indexes embed key+payload, so gaps and chains count against them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Robustness under a changing world — the Section 6.2 scenario as an app.
+
+An in-memory service indexes Tweet IDs (easy, uniform).  One day the
+ingest switches to genome-style loci (locally bumpy): the index built
+for yesterday's distribution must absorb today's.  This example
+monitors throughput across the shift for a learned index, an LSM-style
+learned index and a traditional B+-tree, reproducing Message 11 at
+application level: learned indexes feel the shift, LSM and traditional
+designs shrug.
+
+Run:  python examples/evolving_workload.py
+"""
+
+from repro import ALEX, BPlusTree, PGMIndex, execute
+from repro.core.report import table
+from repro.core.workloads import mixed_workload, shift_workload
+from repro.datasets import registry
+
+N = 12_000
+
+
+def main() -> None:
+    old = registry.get("covid").generate(N, seed=1)
+    new = registry.get("genome").generate(N, seed=2)
+
+    factories = {"ALEX": ALEX, "PGM (LSM)": PGMIndex, "B+tree": BPlusTree}
+    rows = []
+    for name, factory in factories.items():
+        # Phase 1: steady state on the old distribution.
+        steady = execute(factory(), mixed_workload(old, 0.5, n_ops=N, seed=3))
+        # Phase 2: same service, but inserts now follow the new shape.
+        shifted = execute(
+            factory(),
+            shift_workload(old, new, n_ops=N, seed=3, name="covid->genome"),
+        )
+        change = (shifted.throughput_mops - steady.throughput_mops) / steady.throughput_mops
+        rows.append([
+            name,
+            f"{steady.throughput_mops:.2f}",
+            f"{shifted.throughput_mops:.2f}",
+            f"{change:+.0%}",
+            f"{shifted.write_latency.p999:.0f}",
+        ])
+    print(table(
+        ["Index", "Steady Mops", "Shifted Mops", "Change", "write p99.9 ns"],
+        rows,
+        title="Distribution shift: covid -> genome (balanced workload)",
+    ))
+    print("\nWhat to look for: the learned index pays for adapting its")
+    print("models/structure; the LSM design isolates the new distribution in")
+    print("fresh runs; the B+-tree never cared about the distribution at all.")
+
+
+if __name__ == "__main__":
+    main()

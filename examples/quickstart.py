@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: build an index, run a workload, read the numbers.
+
+Five minutes with the GRE public API:
+
+1. generate a dataset (a synthetic stand-in for SOSD's `covid`),
+2. measure its hardness — the paper's two-dimensional difficulty score,
+3. run the paper's balanced workload on a learned and a traditional
+   index,
+4. compare throughput, latency and end-to-end memory.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ALEX, BPlusTree, execute, mixed_workload
+from repro.core.report import format_bytes, table
+from repro.datasets import registry
+from repro.datasets.registry import scaled_epsilons
+from repro.core.hardness import pla_hardness
+
+
+def main() -> None:
+    # 1. Data: 20k keys shaped like the covid Tweet-ID dataset.
+    dataset = registry.get("covid")
+    keys = dataset.generate(20_000, seed=42)
+    print(f"dataset: {dataset.name} — {dataset.description}")
+
+    # 2. Hardness: how difficult is this data for a learned index?
+    g_eps, l_eps = scaled_epsilons(len(keys))
+    print(f"global hardness H(eps={g_eps}) = {pla_hardness(keys, g_eps)}")
+    print(f"local  hardness H(eps={l_eps}) = {pla_hardness(keys, l_eps)}")
+
+    # 3. Workload: bulk-load half, then 50% lookups / 50% inserts.
+    workload = mixed_workload(keys, write_frac=0.5, n_ops=20_000, seed=7)
+
+    # 4. Run it on ALEX (learned) and a B+-tree (traditional).
+    rows = []
+    for factory in (ALEX, BPlusTree):
+        index = factory()
+        result = execute(index, workload)
+        rows.append([
+            index.name,
+            f"{result.throughput_mops:.2f}",
+            f"{result.lookup_latency.p50:.0f}",
+            f"{result.lookup_latency.p999:.0f}",
+            format_bytes(result.memory.total),
+        ])
+    print()
+    print(table(
+        ["Index", "Mops (virtual)", "lookup p50 ns", "lookup p99.9 ns", "memory"],
+        rows,
+        title=f"Balanced workload on {dataset.name}",
+    ))
+    print("\nThroughput/latency use the cost-model clock (see DESIGN.md);")
+    print("ratios between indexes are the meaningful output.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""GRE — a benchmarking suite for updatable learned indexes.
+
+Reproduction of *"Are Updatable Learned Indexes Ready?"* (Wongkham,
+Lu, Liu, Zhong, Lo, Wang — PVLDB 15(11), 2022).
+
+Public API highlights::
+
+    from repro import ALEX, LIPP, PGMIndex, BPlusTree, ART
+    from repro import mixed_workload, execute
+    from repro.core.hardness import global_hardness, local_hardness
+    from repro.datasets import registry
+
+    keys = registry.get("genome").generate(100_000)
+    idx = ALEX()
+    result = execute(idx, mixed_workload(keys, write_frac=0.5))
+    print(result.throughput_mops, result.memory.total)
+"""
+
+from repro.core.cost import CostMeter
+from repro.core.hardness import (
+    global_hardness,
+    local_hardness,
+    mse_hardness,
+    optimal_pla,
+    pla_hardness,
+)
+from repro.core.heatmap import Heatmap, compute_heatmap
+from repro.core.runner import RunResult, execute
+from repro.core.workloads import (
+    Workload,
+    deletion_workload,
+    mixed_workload,
+    scan_workload,
+    shift_workload,
+    ycsb_workload,
+)
+from repro.indexes.alex import ALEX
+from repro.indexes.art import ART
+from repro.indexes.base import MemoryBreakdown, OrderedIndex
+from repro.indexes.btree import BPlusTree
+from repro.indexes.finedex import FINEdex
+from repro.indexes.fiting_tree import FITingTree
+from repro.indexes.hot import HOT
+from repro.indexes.lipp import LIPP
+from repro.indexes.masstree import Masstree
+from repro.indexes.pgm import PGMIndex
+from repro.indexes.rmi import RMI
+from repro.indexes.wormhole import Wormhole
+from repro.indexes.xindex import XIndex
+
+__version__ = "1.0.0"
+
+#: Single-threaded index families as evaluated in Section 4.1.
+LEARNED_INDEXES = {
+    "ALEX": ALEX,
+    "LIPP": LIPP,
+    "PGM": PGMIndex,
+    "XIndex": XIndex,
+    "FINEdex": FINEdex,
+}
+
+TRADITIONAL_INDEXES = {
+    "B+tree": BPlusTree,
+    "ART": ART,
+    "HOT": HOT,
+}
+
+__all__ = [
+    "ALEX", "ART", "BPlusTree", "FINEdex", "FITingTree", "HOT", "LIPP",
+    "Masstree", "PGMIndex", "RMI", "Wormhole", "XIndex",
+    "CostMeter", "Heatmap", "MemoryBreakdown", "OrderedIndex", "RunResult",
+    "Workload", "compute_heatmap", "deletion_workload", "execute",
+    "global_hardness", "local_hardness", "mixed_workload", "mse_hardness",
+    "optimal_pla", "pla_hardness", "scan_workload", "shift_workload",
+    "ycsb_workload", "LEARNED_INDEXES", "TRADITIONAL_INDEXES",
+]

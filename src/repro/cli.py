@@ -1,0 +1,289 @@
+"""GRE command-line interface — run the benchmark without writing code.
+
+The paper's artifact ships scripts "to run the benchmark and visualize
+all experiments"; this module is their equivalent::
+
+    python -m repro datasets
+    python -m repro hardness genome --n 20000
+    python -m repro run --index ALEX --dataset covid --workload balanced
+    python -m repro compare --dataset osm --workload write-only
+    python -m repro heatmap --n 6000 --ops 4000
+    python -m repro scalability --dataset covid --workload write-only
+    python -m repro memory --dataset fb
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Sequence
+
+from repro import LEARNED_INDEXES, TRADITIONAL_INDEXES, FITingTree, execute
+from repro.core.hardness import mse_hardness, pla_hardness
+from repro.core.heatmap import compute_heatmap
+from repro.core.memory import measure_after_write_only
+from repro.core.report import ascii_chart, format_bytes, table
+from repro.core.workloads import (
+    MIX_FRACTIONS,
+    MIX_NAMES,
+    deletion_workload,
+    mixed_workload,
+    scan_workload,
+    ycsb_workload,
+)
+from repro.datasets import registry
+from repro.datasets.registry import scaled_epsilons
+
+_ALL_INDEXES = {**LEARNED_INDEXES, "FITing-Tree": FITingTree, **TRADITIONAL_INDEXES}
+_MIX = dict(zip(MIX_NAMES, MIX_FRACTIONS))
+
+
+def _workload(args, keys):
+    name = args.workload
+    if name in _MIX:
+        return mixed_workload(keys, _MIX[name], n_ops=args.ops, seed=args.seed)
+    if name.startswith("ycsb-"):
+        return ycsb_workload(keys, name[-1].upper(), n_ops=args.ops, seed=args.seed)
+    if name.startswith("delete"):
+        return deletion_workload(keys, 0.5, n_ops=args.ops, seed=args.seed)
+    if name.startswith("scan"):
+        size = int(name.split(":")[1]) if ":" in name else 100
+        return scan_workload(keys, size, max(20, args.ops // size), seed=args.seed)
+    raise SystemExit(
+        f"unknown workload {name!r}; use one of {MIX_NAMES}, ycsb-a/b/c, "
+        "delete, scan[:SIZE]"
+    )
+
+
+def cmd_datasets(args) -> int:
+    rows = []
+    for name in registry.names(include_duplicates=True):
+        ds = registry.get(name)
+        rows.append([ds.name, ds.hardness_class, ds.description])
+    print(table(["Name", "Class", "Description"], rows, title="Datasets"))
+    return 0
+
+
+def cmd_hardness(args) -> int:
+    ds = registry.get(args.dataset)
+    keys = ds.generate(args.n, seed=args.seed)
+    g_eps, l_eps = scaled_epsilons(len(keys))
+    print(f"{ds.name}: n={len(keys)}  (class: {ds.hardness_class})")
+    print(f"  global hardness H(eps={g_eps:>4}) = {pla_hardness(keys, g_eps)}")
+    print(f"  local  hardness H(eps={l_eps:>4}) = {pla_hardness(keys, l_eps)}")
+    print(f"  MSE of one line (appendix D)  = {mse_hardness(keys):.4g}")
+    deciles = [keys[int(q * (len(keys) - 1) / 10)] for q in range(11)]
+    print("  CDF deciles (key/max):",
+          " ".join(f"{k / max(deciles[-1], 1):.3f}" for k in deciles))
+    return 0
+
+
+def cmd_run(args) -> int:
+    factory = _ALL_INDEXES.get(args.index)
+    if factory is None:
+        raise SystemExit(f"unknown index {args.index!r}; use one of {sorted(_ALL_INDEXES)}")
+    keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
+    wl = _workload(args, keys)
+    r = execute(factory(), wl)
+    if getattr(args, "json", False):
+        import json
+
+        print(json.dumps(r.to_dict(), indent=2))
+        return 0
+    rows = [
+        ["throughput", f"{r.throughput_mops:.3f} Mops (virtual)"],
+        ["ops", r.n_ops],
+        ["virtual time", f"{r.virtual_ns / 1e6:.2f} ms"],
+        ["wall time", f"{r.wall_seconds:.2f} s (interpreter)"],
+        ["lookup p50/p99.9", f"{r.lookup_latency.p50:.0f} / {r.lookup_latency.p999:.0f} ns"],
+        ["write  p50/p99.9", f"{r.write_latency.p50:.0f} / {r.write_latency.p999:.0f} ns"],
+        ["memory", format_bytes(r.memory.total)],
+    ]
+    avg = r.insert_stats.averages()
+    if r.insert_stats.inserts:
+        rows.append(["keys shifted/insert", f"{avg['keys_shifted']:.2f}"])
+        rows.append(["nodes created/insert", f"{avg['nodes_created']:.2f}"])
+    print(table(["Metric", "Value"], rows,
+                title=f"{args.index} on {args.dataset} / {wl.name}"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
+    wl = _workload(args, keys)
+    rows = []
+    for name, factory in _ALL_INDEXES.items():
+        r = execute(factory(), wl)
+        rows.append([name, f"{r.throughput_mops:.3f}",
+                     f"{r.lookup_latency.p999:.0f}",
+                     format_bytes(r.memory.total)])
+    rows.sort(key=lambda row: -float(row[1]))
+    print(table(["Index", "Mops", "lookup p99.9 ns", "memory"], rows,
+                title=f"All indexes on {args.dataset} / {wl.name}"))
+    return 0
+
+
+def cmd_heatmap(args) -> int:
+    names = args.datasets.split(",") if args.datasets else registry.heatmap_names()
+    data = {n: registry.get(n).generate(args.n, seed=args.seed) for n in names}
+
+    def build(keys, wl_name):
+        return mixed_workload(list(keys), _MIX[wl_name], n_ops=args.ops, seed=args.seed)
+
+    hm = compute_heatmap(
+        data, build, MIX_NAMES,
+        learned=dict(LEARNED_INDEXES),
+        traditional=dict(TRADITIONAL_INDEXES),
+    )
+    print(hm.render())
+    print(f"\nlearned-index win fraction: {hm.learned_win_fraction():.0%}")
+    return 0
+
+
+def cmd_scalability(args) -> int:
+    from repro.concurrency.adapters import MT_LEARNED, MT_TRADITIONAL
+    from repro.concurrency.simcore import MulticoreSimulator, Topology
+
+    keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
+    wl = _workload(args, keys)
+    threads = [int(t) for t in args.threads.split(",")]
+    sim = MulticoreSimulator(Topology(sockets=args.sockets))
+    curves: Dict[str, List[float]] = {}
+    for name, factory in {**MT_LEARNED, **MT_TRADITIONAL}.items():
+        ad = factory()
+        ad.bulk_load(wl.bulk_items)
+        traces = sim.record(ad, wl.operations)
+        curves[name] = [sim.replay(name, traces, t).throughput_mops for t in threads]
+    print(ascii_chart(curves, threads,
+                      title=f"{args.dataset} / {wl.name} — Mops vs threads "
+                            f"({args.sockets} socket(s))"))
+    rows = [[name] + [f"{y:.1f}" for y in ys] for name, ys in curves.items()]
+    print()
+    print(table(["Index"] + [str(t) for t in threads], rows))
+    return 0
+
+
+def cmd_memory(args) -> int:
+    keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
+    rows = []
+    for name, factory in _ALL_INDEXES.items():
+        rep = measure_after_write_only(factory, keys)
+        rows.append([name, format_bytes(rep.breakdown.total),
+                     f"{rep.bytes_per_key:.1f}", f"{rep.inner_fraction:.0%}"])
+    rows.sort(key=lambda row: float(row[2]))
+    print(table(["Index", "Total", "Bytes/key", "Inner share"], rows,
+                title=f"End-to-end memory after write-only ({args.dataset})"))
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from repro.core.diagnostics import diagnose
+    from repro.core.workloads import mixed_workload as _mw
+
+    factory = _ALL_INDEXES.get(args.index)
+    if factory is None:
+        raise SystemExit(f"unknown index {args.index!r}; use one of {sorted(_ALL_INDEXES)}")
+    keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
+    wl = _workload(args, keys)
+    idx = factory()
+    execute(idx, wl)
+    sample = [k for k, _ in wl.bulk_items][:: max(1, len(wl.bulk_items) // 300)]
+    print(diagnose(idx, sample).render())
+    return 0
+
+
+def cmd_compare_runs(args) -> int:
+    from repro.core.results import ResultStore, compare
+
+    base = ResultStore(args.baseline).load()
+    cur = ResultStore(args.current).load()
+    regressions = compare(base, cur, threshold=args.threshold)
+    if not regressions:
+        print(f"no regressions beyond {args.threshold:.0%}")
+        return 0
+    for r in regressions:
+        print(r)
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="GRE: benchmark updatable learned indexes "
+                    "(reproduction of VLDB 2022).",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def common(sp, dataset=True, workload=False):
+        sp.add_argument("--n", type=int, default=8000, help="keys to generate")
+        sp.add_argument("--ops", type=int, default=6000, help="operations to run")
+        sp.add_argument("--seed", type=int, default=0)
+        if dataset:
+            sp.add_argument("--dataset", default="covid",
+                            help=f"one of {registry.names()}")
+        if workload:
+            sp.add_argument("--workload", default="balanced",
+                            help=f"{MIX_NAMES} | ycsb-a/b/c | delete | scan[:SIZE]")
+
+    sub.add_parser("datasets", help="list the dataset registry")
+
+    sp = sub.add_parser("hardness", help="PLA hardness of a dataset")
+    sp.add_argument("dataset")
+    common(sp, dataset=False)
+
+    sp = sub.add_parser("run", help="run one index on one workload")
+    sp.add_argument("--index", default="ALEX",
+                    help=f"one of {sorted(_ALL_INDEXES)}")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    common(sp, workload=True)
+
+    sp = sub.add_parser("compare", help="all indexes on one workload")
+    common(sp, workload=True)
+
+    sp = sub.add_parser("heatmap", help="data x workload winner heatmap")
+    sp.add_argument("--datasets", default="",
+                    help="comma-separated (default: the paper's ten)")
+    common(sp, dataset=False)
+
+    sp = sub.add_parser("scalability", help="simulated multicore curves")
+    sp.add_argument("--threads", default="2,4,8,16,24,36,48")
+    sp.add_argument("--sockets", type=int, default=1)
+    common(sp, workload=True)
+
+    sp = sub.add_parser("memory", help="end-to-end memory comparison")
+    common(sp)
+
+    sp = sub.add_parser("diagnose", help="index health after a workload")
+    sp.add_argument("--index", default="ALEX",
+                    help=f"one of {sorted(_ALL_INDEXES)}")
+    common(sp, workload=True)
+
+    sp = sub.add_parser("compare-runs",
+                        help="regressions between two result files")
+    sp.add_argument("baseline")
+    sp.add_argument("current")
+    sp.add_argument("--threshold", type=float, default=0.10)
+    return p
+
+
+_COMMANDS = {
+    "datasets": cmd_datasets,
+    "hardness": cmd_hardness,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "heatmap": cmd_heatmap,
+    "scalability": cmd_scalability,
+    "memory": cmd_memory,
+    "diagnose": cmd_diagnose,
+    "compare-runs": cmd_compare_runs,
+}
+
+
+def main(argv: Sequence[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

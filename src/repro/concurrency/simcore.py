@@ -1,0 +1,211 @@
+"""Discrete-event T-core replay of operation traces.
+
+The simulator stands in for the paper's quad-socket 96-core Xeon (see
+DESIGN.md's substitution table).  Threads draw operations from a shared
+queue; each operation's :class:`~repro.concurrency.trace.OpTrace` is
+replayed against:
+
+* **exclusive resources** — a critical section waits until the
+  resource's previous holder releases it (lock contention),
+* **shared cache lines** — an atomic RMW costs more for every other
+  thread that recently touched the line (cache-line ping-pong; this is
+  what flattens LIPP+'s insert scalability at the root),
+* **memory bandwidth** — aggregate DRAM traffic beyond the socket's
+  capacity stretches the run (ALEX+'s saturation at 24 threads),
+* **NUMA** — with more than one socket, the interleave policy sends
+  ``(S-1)/S`` of accesses remote, inflating memory-bound latency and
+  capping cross-socket traffic by the interconnect.
+
+Hyper-threads run at a fraction of a physical core's speed, matching
+the grey regions of Figure 5.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.concurrency.trace import ATOMIC_BASE_NS, ATOMIC_PINGPONG_NS, OpTrace
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Hardware model: defaults mirror the paper's testbed (per socket:
+    24 cores, 2-way SMT; four sockets total)."""
+
+    sockets: int = 1
+    cores_per_socket: int = 24
+    smt: int = 2
+    #: Per-socket DRAM bandwidth, bytes per virtual second.  Calibrated
+    #: so a write-heavy ALEX+ saturates at ~24 threads (the paper's
+    #: profiling observation in Section 4.3).
+    socket_bandwidth: float = 30e9
+    #: Effective aggregate bandwidth multiplier per socket count.  Two
+    #: sockets share a single interconnect link, so interleaved traffic
+    #: gains almost nothing (the Figure-6 ALEX+ dip); three and four
+    #: sockets add links (3 and 6 respectively) and recover.
+    numa_bandwidth_scale: Tuple[float, ...] = (1.0, 1.02, 2.2, 2.9)
+    #: Latency multiplier applied to the remote share of memory time.
+    remote_latency_factor: float = 1.6
+    #: A hyper-thread contributes this fraction of a physical core.
+    smt_speed: float = 0.40
+
+    def physical_threads(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def max_threads(self) -> int:
+        return self.physical_threads() * self.smt
+
+    def thread_speed(self, thread_index: int) -> float:
+        """Relative speed of the ``thread_index``-th thread (physical
+        cores first, then hyper-threads)."""
+        if thread_index < self.physical_threads():
+            return 1.0
+        return self.smt_speed
+
+    def bandwidth_capacity(self) -> float:
+        scale = self.numa_bandwidth_scale[
+            min(self.sockets, len(self.numa_bandwidth_scale)) - 1
+        ]
+        return self.socket_bandwidth * scale
+
+    def remote_fraction(self) -> float:
+        """Interleave policy: accesses land uniformly across sockets."""
+        return (self.sockets - 1) / self.sockets if self.sockets > 1 else 0.0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated multi-threaded run."""
+
+    index_name: str
+    workload_name: str
+    threads: int
+    n_ops: int
+    makespan_ns: float = 0.0
+    #: Virtual ns each op spent (sampled), for tail latency figures.
+    lookup_latencies: List[float] = field(default_factory=list)
+    write_latencies: List[float] = field(default_factory=list)
+    lock_wait_ns: float = 0.0
+    atomic_ns: float = 0.0
+    bytes_total: float = 0.0
+    bandwidth_limited: bool = False
+
+    @property
+    def throughput_mops(self) -> float:
+        if self.makespan_ns <= 0:
+            return 0.0
+        return self.n_ops / (self.makespan_ns / 1e9) / 1e6
+
+
+class MulticoreSimulator:
+    """Replays adapter traces on ``threads`` virtual cores."""
+
+    def __init__(self, topology: Optional[Topology] = None) -> None:
+        self.topology = topology if topology is not None else Topology()
+
+    def run(
+        self,
+        adapter,
+        operations,
+        threads: int,
+        sample_every: int = 101,
+    ) -> SimResult:
+        """Execute ``operations`` on the adapter and replay on ``threads``.
+
+        The adapter must already be bulk loaded.  Operations are pulled
+        from a shared queue by whichever virtual thread is free first —
+        the same execution model as the paper's benchmark driver.
+        """
+        traces = self.record(adapter, operations)
+        return self.replay(adapter.name, traces, threads, sample_every)
+
+    @staticmethod
+    def record(adapter, operations) -> List[OpTrace]:
+        """Execute ops once on the real index, collecting their traces.
+
+        Recorded traces can be replayed at many thread counts (the
+        Figure 5/6 sweeps) without re-executing the index."""
+        return [adapter.run_op(op) for op in operations]
+
+    def replay(
+        self,
+        index_name: str,
+        traces: List[OpTrace],
+        threads: int,
+        sample_every: int = 101,
+    ) -> SimResult:
+        """Replay recorded traces on ``threads`` virtual cores."""
+        topo = self.topology
+        if threads < 1 or threads > topo.max_threads():
+            raise ValueError(
+                f"threads must be in [1, {topo.max_threads()}] for this topology"
+            )
+        remote_frac = topo.remote_fraction()
+        remote_mult = 1.0 + remote_frac * (topo.remote_latency_factor - 1.0)
+
+        # Thread-ready heap: (time, thread_id).
+        ready = [(0.0, t) for t in range(threads)]
+        heapq.heapify(ready)
+        busy_until: Dict[Hashable, float] = {}
+        line_sharers: Dict[Hashable, set] = {}
+        result = SimResult(
+            index_name=index_name,
+            workload_name="",
+            threads=threads,
+            n_ops=0,
+        )
+        for i, trace in enumerate(traces):
+            now, tid = heapq.heappop(ready)
+            speed = topo.thread_speed(tid)
+            start = now
+            t = now
+            # Lock-free work (NUMA-inflated on its memory share).
+            free = trace.free_ns * (
+                1.0 - trace.mem_fraction + trace.mem_fraction * remote_mult
+            )
+            t += free / speed
+            # Atomic RMWs: ping-pong grows with the number of threads
+            # that share the line.
+            for line in trace.atomics:
+                sharers = line_sharers.setdefault(line, set())
+                sharers.add(tid)
+                n_shar = min(len(sharers), threads)
+                cost = ATOMIC_BASE_NS + ATOMIC_PINGPONG_NS * max(0, n_shar - 1)
+                t += cost / speed
+                result.atomic_ns += cost
+            # Exclusive critical sections, in order.
+            for resource, hold_ns in trace.sections:
+                avail = busy_until.get(resource, 0.0)
+                wait = max(0.0, avail - t)
+                result.lock_wait_ns += wait
+                t = max(t, avail)
+                hold = hold_ns * (
+                    1.0 - trace.mem_fraction + trace.mem_fraction * remote_mult
+                )
+                t += hold / speed
+                busy_until[resource] = t
+            result.bytes_total += trace.bytes
+            latency = t - start
+            if i % sample_every == 0:
+                if trace.op == "lookup":
+                    result.lookup_latencies.append(latency)
+                else:
+                    result.write_latencies.append(latency)
+            result.n_ops += 1
+            heapq.heappush(ready, (t, tid))
+        makespan = max(t for t, _ in ready)
+        # Memory-bandwidth ceiling: if aggregate traffic demands more
+        # than the sockets can deliver, the run stretches accordingly.
+        capacity = topo.bandwidth_capacity()
+        if makespan > 0:
+            demand = result.bytes_total / (makespan / 1e9)
+            if demand > capacity:
+                stretch = demand / capacity
+                makespan *= stretch
+                result.bandwidth_limited = True
+                result.lookup_latencies = [x * stretch for x in result.lookup_latencies]
+                result.write_latencies = [x * stretch for x in result.write_latencies]
+        result.makespan_ns = makespan
+        return result

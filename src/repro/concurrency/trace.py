@@ -1,0 +1,95 @@
+"""Abstract execution traces for the simulated-multicore substrate.
+
+CPython's GIL makes real multi-threaded throughput measurements
+meaningless, so the multicore experiments (Figures 4–6, 10–11, 16, A,
+G) run on a discrete-event simulator instead.  Each concurrent-index
+adapter executes every operation on the *real* single-threaded index
+(correctness and per-op work are genuine) and distils it into an
+:class:`OpTrace` describing what a real thread would have done to
+shared resources:
+
+* ``free_ns``     — work done without holding any lock (optimistic
+  traversal, model evaluation, last-mile search),
+* ``sections``    — exclusive critical sections ``(resource, hold_ns)``
+  (e.g. ALEX+'s per-data-node lock held while shifting keys),
+* ``atomics``     — atomic read-modify-writes on shared cache lines
+  (e.g. LIPP+'s per-node statistics counters: the root's line is
+  touched by *every* insert — the Figure-5 scalability killer),
+* ``bytes``       — DRAM traffic demanded (drives bandwidth saturation
+  and the NUMA effects of Figure 6),
+* ``mem_fraction``— the share of ``free_ns`` that is memory-latency
+  bound (pointer chases), which is what NUMA remote-access latency
+  inflates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.core.cost import (
+    ALLOC_NODE,
+    CACHE_PROBE,
+    HASH,
+    KEY_SHIFT,
+    NODE_HOP,
+    SCAN_ENTRY,
+    SLOT_INIT,
+    TRAIN_KEY,
+)
+
+#: DRAM bytes implied by one unit of each cost kind (reads and writes
+#: both consume bandwidth; cache-resident work consumes none).
+BYTES_PER_UNIT: Dict[str, float] = {
+    NODE_HOP: 64.0,       # one cache line fetched
+    CACHE_PROBE: 64.0,
+    KEY_SHIFT: 32.0,      # key+payload read + write back
+    SLOT_INIT: 16.0,
+    ALLOC_NODE: 128.0,    # header init + allocator metadata
+    TRAIN_KEY: 16.0,
+    SCAN_ENTRY: 16.0,
+    HASH: 64.0,
+}
+
+#: Virtual-ns cost of an *uncontended* atomic RMW.
+ATOMIC_BASE_NS = 20.0
+#: Extra ns per additional thread sharing the cache line (ping-pong).
+ATOMIC_PINGPONG_NS = 35.0
+
+
+@dataclass
+class OpTrace:
+    """One operation's abstract resource usage."""
+
+    op: str
+    free_ns: float = 0.0
+    #: Exclusive critical sections, acquired in order.
+    sections: List[Tuple[Hashable, float]] = field(default_factory=list)
+    #: Cache lines hit with an atomic RMW.
+    atomics: List[Hashable] = field(default_factory=list)
+    #: DRAM traffic (bytes).
+    bytes: float = 0.0
+    #: Fraction of free_ns + section time that is memory-latency bound.
+    mem_fraction: float = 0.5
+
+
+def bytes_from_counts(counts: Dict[Tuple[str, str], float]) -> float:
+    """DRAM bytes implied by a :class:`CostDelta`'s raw counters."""
+    total = 0.0
+    for (_, kind), units in counts.items():
+        total += BYTES_PER_UNIT.get(kind, 0.0) * units
+    return total
+
+
+def mem_fraction_from_counts(
+    counts: Dict[Tuple[str, str], float], weights: Dict[str, float]
+) -> float:
+    """Share of virtual time spent on memory-latency-bound kinds."""
+    mem = 0.0
+    total = 0.0
+    for (_, kind), units in counts.items():
+        ns = weights.get(kind, 0.0) * units
+        total += ns
+        if kind in (NODE_HOP, CACHE_PROBE, HASH):
+            mem += ns
+    return mem / total if total > 0 else 0.5

@@ -1,0 +1,127 @@
+"""Data × workload throughput heatmaps (Figures 2, 4, 7, 14, 16).
+
+Each cell compares the *best* learned index against the *best*
+traditional index on one (dataset, workload) pair.  Following the
+paper's convention the cell value is a signed ratio:
+
+* negative (rendered ``L``) — a learned index wins by ``|value|×``,
+* positive (rendered ``T``) — a traditional index wins by ``value×``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.runner import RunResult, execute
+from repro.core.workloads import Workload
+from repro.indexes.base import OrderedIndex
+
+IndexFactory = Callable[[], OrderedIndex]
+
+
+@dataclass
+class HeatmapCell:
+    dataset: str
+    workload: str
+    best_learned: str
+    best_traditional: str
+    learned_mops: float
+    traditional_mops: float
+
+    @property
+    def ratio(self) -> float:
+        """Signed winner ratio (negative = learned index wins)."""
+        if self.learned_mops >= self.traditional_mops:
+            if self.traditional_mops <= 0:
+                return -float("inf")
+            return -self.learned_mops / self.traditional_mops
+        if self.learned_mops <= 0:
+            return float("inf")
+        return self.traditional_mops / self.learned_mops
+
+    @property
+    def learned_wins(self) -> bool:
+        return self.learned_mops >= self.traditional_mops
+
+
+@dataclass
+class Heatmap:
+    """Grid of cells, indexed [dataset][workload]."""
+
+    datasets: List[str]
+    workloads: List[str]
+    cells: Dict[Tuple[str, str], HeatmapCell] = field(default_factory=dict)
+
+    def cell(self, dataset: str, workload: str) -> HeatmapCell:
+        return self.cells[(dataset, workload)]
+
+    def learned_win_fraction(self) -> float:
+        """Fraction of the data-workload space won by learned indexes
+        (the paper's Message 1: >80% single-threaded)."""
+        wins = sum(1 for c in self.cells.values() if c.learned_wins)
+        return wins / max(len(self.cells), 1)
+
+    def render(self) -> str:
+        """ASCII rendering in the paper's layout (rows = datasets)."""
+        w = max(len(x) for x in self.workloads) + 2
+        lines = []
+        header = " " * 10 + "".join(f"{x:>{w}}" for x in self.workloads)
+        lines.append(header)
+        for ds in self.datasets:
+            row = f"{ds:>9} "
+            for wl in self.workloads:
+                c = self.cells.get((ds, wl))
+                if c is None:
+                    row += " " * (w - 4) + "  - "
+                    continue
+                tag = "L" if c.learned_wins else "T"
+                row += f"{tag}{abs(c.ratio):>{w - 2}.2f} "
+            lines.append(row)
+        lines.append("")
+        lines.append("L = best learned index wins, T = best traditional wins;")
+        lines.append("value = winner's throughput / loser's throughput.")
+        return "\n".join(lines)
+
+
+def compute_heatmap(
+    dataset_keys: Dict[str, Sequence[int]],
+    workload_builder: Callable[[Sequence[int], str], Workload],
+    workload_names: Sequence[str],
+    learned: Dict[str, IndexFactory],
+    traditional: Dict[str, IndexFactory],
+    on_cell: Callable[[HeatmapCell], None] = None,
+) -> Heatmap:
+    """Run every index on every (dataset, workload) cell.
+
+    ``workload_builder(keys, workload_name)`` constructs each workload;
+    factories build fresh index instances per run.
+    """
+    hm = Heatmap(datasets=list(dataset_keys), workloads=list(workload_names))
+    for ds_name, keys in dataset_keys.items():
+        for wl_name in workload_names:
+            workload = workload_builder(keys, wl_name)
+            best_l = _best(learned, workload)
+            best_t = _best(traditional, workload)
+            cell = HeatmapCell(
+                dataset=ds_name,
+                workload=wl_name,
+                best_learned=best_l[0],
+                best_traditional=best_t[0],
+                learned_mops=best_l[1],
+                traditional_mops=best_t[1],
+            )
+            hm.cells[(ds_name, wl_name)] = cell
+            if on_cell is not None:
+                on_cell(cell)
+    return hm
+
+
+def _best(factories: Dict[str, IndexFactory], workload: Workload) -> Tuple[str, float]:
+    best_name, best_mops = "", -1.0
+    for name, factory in factories.items():
+        index = factory()
+        result = execute(index, workload)
+        if result.throughput_mops > best_mops:
+            best_name, best_mops = name, result.throughput_mops
+    return best_name, best_mops

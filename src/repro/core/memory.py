@@ -1,0 +1,59 @@
+"""End-to-end memory measurement (Section 5, Figure 8).
+
+The paper's point: prior work excluded the leaf layer, but once updates
+force explicit key storage the leaf layer dominates.  These helpers run
+the paper's measurement protocol — bulk load half the keys, insert the
+rest individually (the write-only workload), then report the whole
+index including leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.workloads import mixed_workload
+from repro.core.runner import execute
+from repro.indexes.base import MemoryBreakdown, OrderedIndex
+
+
+@dataclass
+class MemoryReport:
+    index_name: str
+    n_keys: int
+    breakdown: MemoryBreakdown
+
+    @property
+    def bytes_per_key(self) -> float:
+        return self.breakdown.total / max(self.n_keys, 1)
+
+    @property
+    def inner_fraction(self) -> float:
+        total = self.breakdown.total
+        return self.breakdown.inner / total if total else 0.0
+
+
+def measure_after_write_only(
+    factory: Callable[[], OrderedIndex],
+    keys: Sequence[int],
+    seed: int = 0,
+) -> MemoryReport:
+    """Figure 8's protocol: bulk half, insert the rest, then measure."""
+    workload = mixed_workload(keys, write_frac=1.0, seed=seed)
+    index = factory()
+    result = execute(index, workload)
+    return MemoryReport(
+        index_name=index.name,
+        n_keys=len(index),
+        breakdown=result.memory,
+    )
+
+
+def space_saving_ratio(reports: Dict[str, MemoryReport],
+                       learned_names: Sequence[str],
+                       traditional_names: Sequence[str]) -> float:
+    """Message 9's headline number: size of the *largest traditional*
+    index divided by the *smallest learned* index (3.2x in the paper)."""
+    smallest_learned = min(reports[n].breakdown.total for n in learned_names)
+    largest_traditional = max(reports[n].breakdown.total for n in traditional_names)
+    return largest_traditional / max(smallest_learned, 1)

@@ -1,0 +1,102 @@
+"""Plain-text tables and series used by every benchmark's output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024.0:
+            return f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}TB"
+
+
+def format_number(x: Any) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.01:
+            return f"{x:.3g}"
+        return f"{x:.2f}"
+    return str(x)
+
+
+def table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+          title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_number(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """Render one plot series as `name: (x, y) (x, y) ...`."""
+    pairs = " ".join(f"({format_number(x)}, {format_number(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def bar(value: float, maximum: float, width: int = 40) -> str:
+    """A proportional ASCII bar for quick visual comparison."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * min(value / maximum, 1.0)))
+    return "#" * filled + "." * (width - filled)
+
+
+def ascii_chart(
+    series_map: "dict[str, Sequence[float]]",
+    xs: Sequence[Any],
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series ASCII line chart (the GRE visualization scripts).
+
+    Each series gets a letter marker; y is auto-scaled to the data.
+    """
+    if not series_map or not xs:
+        return "(no data)"
+    names = list(series_map)
+    markers = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    y_max = max(max(ys) for ys in series_map.values())
+    y_max = y_max if y_max > 0 else 1.0
+    n_cols = len(xs)
+    col_width = max(6, max(len(str(x)) for x in xs) + 2)
+    grid = [[" "] * (n_cols * col_width) for _ in range(height)]
+    for si, name in enumerate(names):
+        ys = series_map[name]
+        for ci, y in enumerate(ys):
+            row = height - 1 - int(round((height - 1) * min(y / y_max, 1.0)))
+            col = ci * col_width + col_width // 2
+            cell = grid[row][col]
+            grid[row][col] = "*" if cell not in (" ", "*") else markers[si % 26]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = 10
+    for ri, row in enumerate(grid):
+        y_val = y_max * (height - 1 - ri) / (height - 1)
+        lines.append(f"{y_val:>{label_w - 2}.1f} |" + "".join(row))
+    lines.append(" " * label_w + "-" * (n_cols * col_width))
+    x_axis = " " * label_w
+    for x in xs:
+        x_axis += str(x).center(col_width)
+    lines.append(x_axis)
+    legend = "  ".join(
+        f"{markers[i % 26]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * label_w + legend + "   (* = overlap)")
+    return "\n".join(lines)

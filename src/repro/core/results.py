@@ -1,0 +1,115 @@
+"""Result persistence and regression comparison.
+
+A benchmarking suite is only useful if runs can be compared over time.
+This module appends :class:`~repro.core.runner.RunResult` summaries to
+a JSON-lines file and diffs two result sets::
+
+    store = ResultStore("results.jsonl")
+    store.append(result, tags={"commit": "abc123"})
+    ...
+    regressions = compare(old_results, new_results, threshold=0.10)
+
+The CLI and CI pipelines can gate on :func:`compare`'s output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.runner import RunResult
+
+
+class ResultStore:
+    """Append-only JSON-lines store of benchmark results."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, result: RunResult, tags: Optional[Dict[str, str]] = None) -> None:
+        record = result.to_dict()
+        if tags:
+            record["tags"] = dict(tags)
+        with open(self.path, "a") as f:
+            f.write(json.dumps(record) + "\n")
+
+    def load(self) -> List[dict]:
+        """All records; missing file reads as empty."""
+        if not os.path.exists(self.path):
+            return []
+        records = []
+        with open(self.path) as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{self.path}:{line_no}: corrupt result record: {exc}"
+                    ) from exc
+        return records
+
+    def latest(self, index: str, workload: str) -> Optional[dict]:
+        """Most recent record for an (index, workload) pair."""
+        hit = None
+        for record in self.load():
+            if record.get("index") == index and record.get("workload") == workload:
+                hit = record
+        return hit
+
+
+@dataclass(frozen=True)
+class Regression:
+    index: str
+    workload: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def change(self) -> float:
+        if self.before == 0:
+            return 0.0
+        return (self.after - self.before) / self.before
+
+    def __str__(self) -> str:
+        return (f"{self.index}/{self.workload} {self.metric}: "
+                f"{self.before:.3g} -> {self.after:.3g} ({self.change:+.1%})")
+
+
+def _key(record: dict) -> Tuple[str, str]:
+    return record.get("index", "?"), record.get("workload", "?")
+
+
+def compare(
+    baseline: Iterable[dict],
+    current: Iterable[dict],
+    threshold: float = 0.10,
+) -> List[Regression]:
+    """Regressions in ``current`` relative to ``baseline``.
+
+    Flags throughput drops and p99.9 latency increases beyond
+    ``threshold``.  Pairs present in only one set are ignored (they are
+    additions/removals, not regressions).
+    """
+    base = { _key(r): r for r in baseline }
+    out: List[Regression] = []
+    for record in current:
+        before = base.get(_key(record))
+        if before is None:
+            continue
+        b_tp = before.get("throughput_mops", 0.0)
+        c_tp = record.get("throughput_mops", 0.0)
+        if b_tp > 0 and (b_tp - c_tp) / b_tp > threshold:
+            out.append(Regression(*_key(record), "throughput_mops", b_tp, c_tp))
+        for side in ("lookup_latency", "write_latency"):
+            b_lat = (before.get(side) or {}).get("p999", 0.0)
+            c_lat = (record.get(side) or {}).get("p999", 0.0)
+            if b_lat > 0 and (c_lat - b_lat) / b_lat > threshold:
+                out.append(Regression(*_key(record), f"{side}.p999", b_lat, c_lat))
+    out.sort(key=lambda r: -abs(r.change))
+    return out

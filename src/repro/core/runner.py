@@ -1,0 +1,214 @@
+"""Benchmark runner: executes a workload on an index and measures it.
+
+Throughput and latency are reported on the **virtual cost-model clock**
+(see :mod:`repro.core.cost`): Python wall-clock time measures the
+interpreter, not the index design.  Wall seconds are still recorded for
+sanity.  As in the paper, measurement starts *after* bulk loading, and
+latencies are sampled from ~1% of operations.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cost import ALL_PHASES, CostMeter
+from repro.core.workloads import DELETE, INSERT, LOOKUP, SCAN, UPDATE, Operation, Workload
+from repro.indexes.base import MemoryBreakdown, OrderedIndex
+
+
+@dataclass
+class LatencyStats:
+    """Latency distribution summary (virtual nanoseconds)."""
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p99: float = 0.0
+    p999: float = 0.0
+    variance: float = 0.0
+    max: float = 0.0
+
+    @staticmethod
+    def from_samples(samples: List[float]) -> "LatencyStats":
+        if not samples:
+            return LatencyStats()
+        s = sorted(samples)
+        n = len(s)
+
+        def pct(p: float) -> float:
+            return s[min(n - 1, int(p * n))]
+
+        mean = sum(s) / n
+        var = sum((x - mean) ** 2 for x in s) / n
+        return LatencyStats(
+            count=n, mean=mean, p50=pct(0.50), p99=pct(0.99),
+            p999=pct(0.999), variance=var, max=s[-1],
+        )
+
+
+@dataclass
+class InsertStats:
+    """Table-3 per-insert statistics."""
+
+    inserts: int = 0
+    nodes_traversed: float = 0.0
+    keys_shifted: float = 0.0
+    nodes_created: float = 0.0
+    smo_count: int = 0
+
+    def record(self, rec) -> None:
+        self.inserts += 1
+        self.nodes_traversed += rec.nodes_traversed
+        self.keys_shifted += rec.keys_shifted
+        self.nodes_created += rec.nodes_created
+        self.smo_count += 1 if rec.smo else 0
+
+    def averages(self) -> Dict[str, float]:
+        n = max(self.inserts, 1)
+        return {
+            "nodes_traversed": self.nodes_traversed / n,
+            "keys_shifted": self.keys_shifted / n,
+            "nodes_created": self.nodes_created / n,
+            "smo_rate": self.smo_count / n,
+        }
+
+
+@dataclass
+class RunResult:
+    """Everything one benchmark run produces."""
+
+    index_name: str
+    workload_name: str
+    n_ops: int
+    virtual_ns: float
+    wall_seconds: float
+    #: Virtual time spent per phase across the measured ops.
+    phase_ns: Dict[str, float]
+    lookup_latency: LatencyStats
+    write_latency: LatencyStats
+    insert_stats: InsertStats
+    memory: MemoryBreakdown
+    #: Keys returned per scan op (scan workloads only).
+    scanned_entries: int = 0
+
+    @property
+    def throughput_mops(self) -> float:
+        """Million operations per virtual second."""
+        if self.virtual_ns <= 0:
+            return 0.0
+        return self.n_ops / (self.virtual_ns / 1e9) / 1e6
+
+    @property
+    def scan_keys_per_second(self) -> float:
+        """Keys accessed per virtual second (Figure 13's metric)."""
+        if self.virtual_ns <= 0:
+            return 0.0
+        return self.scanned_entries / (self.virtual_ns / 1e9)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable summary (CLI ``--json``, external tooling)."""
+        return {
+            "index": self.index_name,
+            "workload": self.workload_name,
+            "n_ops": self.n_ops,
+            "throughput_mops": self.throughput_mops,
+            "virtual_ns": self.virtual_ns,
+            "wall_seconds": self.wall_seconds,
+            "phase_ns": dict(self.phase_ns),
+            "lookup_latency": {
+                "p50": self.lookup_latency.p50,
+                "p99": self.lookup_latency.p99,
+                "p999": self.lookup_latency.p999,
+                "mean": self.lookup_latency.mean,
+                "count": self.lookup_latency.count,
+            },
+            "write_latency": {
+                "p50": self.write_latency.p50,
+                "p99": self.write_latency.p99,
+                "p999": self.write_latency.p999,
+                "mean": self.write_latency.mean,
+                "count": self.write_latency.count,
+            },
+            "insert_stats": self.insert_stats.averages()
+            if self.insert_stats.inserts
+            else None,
+            "memory_bytes": {
+                "inner": self.memory.inner,
+                "leaf": self.memory.leaf,
+                "metadata": self.memory.metadata,
+                "total": self.memory.total,
+            },
+            "scanned_entries": self.scanned_entries,
+        }
+
+
+def execute(
+    index: OrderedIndex,
+    workload: Workload,
+    sample_every: int = 101,
+    reset_meter: bool = True,
+) -> RunResult:
+    """Bulk load, run the operation stream, return measurements.
+
+    ``sample_every`` controls latency sampling (~1% of ops by default,
+    matching the paper).  Sampling snapshots the cost meter around the
+    op, so sampled and unsampled ops execute identically.
+    """
+    index.bulk_load(workload.bulk_items)
+    if reset_meter:
+        index.meter.reset()
+    meter = index.meter
+    start_ns = meter.total_time()
+    wall0 = time.perf_counter()
+    lookup_samples: List[float] = []
+    write_samples: List[float] = []
+    istats = InsertStats()
+    scanned = 0
+    for i, op in enumerate(workload.operations):
+        sampled = (i % sample_every) == 0
+        before = meter.total_time() if sampled else 0.0
+        kind = op.op
+        if kind == LOOKUP:
+            index.lookup(op.key)
+        elif kind == INSERT:
+            index.insert(op.key, op.value)
+            istats.record(index.last_op)
+        elif kind == UPDATE:
+            index.update(op.key, op.value)
+        elif kind == DELETE:
+            index.delete(op.key)
+        elif kind == SCAN:
+            scanned += len(index.range_scan(op.key, op.count))
+        else:
+            raise ValueError(f"unknown op {kind!r}")
+        if sampled:
+            lat = meter.total_time() - before
+            if kind == LOOKUP:
+                lookup_samples.append(lat)
+            elif kind in (INSERT, UPDATE, DELETE):
+                write_samples.append(lat)
+    wall = time.perf_counter() - wall0
+    phase_ns = meter.time_by_phase()
+    return RunResult(
+        index_name=index.name,
+        workload_name=workload.name,
+        n_ops=workload.n_ops,
+        virtual_ns=meter.total_time() - start_ns,
+        wall_seconds=wall,
+        phase_ns=phase_ns,
+        lookup_latency=LatencyStats.from_samples(lookup_samples),
+        write_latency=LatencyStats.from_samples(write_samples),
+        insert_stats=istats,
+        memory=index.memory_usage(),
+        scanned_entries=scanned,
+    )
+
+
+def best_throughput(results: List[RunResult]) -> RunResult:
+    """The winner among runs of the same workload."""
+    if not results:
+        raise ValueError("no results")
+    return max(results, key=lambda r: r.throughput_mops)

@@ -1,0 +1,323 @@
+"""Workload construction (Section 3.3, Section 4.4, Section 6, Appendix E).
+
+A :class:`Workload` is a bulk-load set plus a deterministic operation
+stream.  Builders mirror the paper's definitions, scaled by ``n``:
+
+* :func:`mixed_workload` — the five insert mixes (Read-Only 0% …
+  Write-Only 100% writes).  Writes insert the not-yet-loaded half of
+  the dataset in shuffled order; reads look up uniformly random keys
+  among those currently present.
+* :func:`deletion_workload` — Figure 7's 0%…100% delete mixes.
+* :func:`shift_workload` — Figure 12's distribution shift: bulk from
+  dataset X, insert keys from dataset Y rescaled into X's domain,
+  look up keys of X.
+* :func:`scan_workload` — Figure 13's fixed-size range queries.
+* :func:`ycsb_workload` — YCSB A/B/C with scrambled-Zipfian key choice
+  (updates only, no inserts — the reason LIPP+ scales again in
+  Figure G).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.datasets.zipfian import ScrambledZipfian, ZipfianGenerator
+
+LOOKUP = "lookup"
+INSERT = "insert"
+UPDATE = "update"
+DELETE = "delete"
+SCAN = "scan"
+
+
+def payload(key: int) -> int:
+    """Deterministic 8-byte payload for a key (checkable in tests)."""
+    return (key * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class Operation:
+    op: str
+    key: int
+    value: Any = None
+    count: int = 0  # scan length
+
+
+@dataclass
+class Workload:
+    """Bulk items + operation stream, both deterministic."""
+
+    name: str
+    bulk_items: List[Tuple[int, Any]]
+    operations: List[Operation]
+    #: Fraction of ops that mutate (for reports).
+    write_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for i in range(1, len(self.bulk_items)):
+            if self.bulk_items[i - 1][0] > self.bulk_items[i][0]:
+                raise ValueError("bulk_items must be sorted")
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.operations)
+
+
+def _items(keys: Sequence[int]) -> List[Tuple[int, Any]]:
+    return [(k, payload(k)) for k in keys]
+
+
+def mixed_workload(
+    keys: Sequence[int],
+    write_frac: float,
+    n_ops: Optional[int] = None,
+    seed: int = 0,
+) -> Workload:
+    """The paper's insert-mix workloads over one dataset's keys.
+
+    ``write_frac`` 0.0 bulk-loads everything and issues only lookups;
+    otherwise half the (shuffled) keys are bulk loaded and writes insert
+    the remaining keys until they run out.
+    """
+    if not 0.0 <= write_frac <= 1.0:
+        raise ValueError("write_frac must be in [0, 1]")
+    rng = random.Random(f"mixed-{write_frac}-{seed}")
+    keys = list(keys)
+    rng.shuffle(keys)
+    if write_frac == 0.0:
+        loaded = sorted(keys)
+        pending: List[int] = []
+    else:
+        half = len(keys) // 2
+        loaded = sorted(keys[:half])
+        pending = keys[half:]
+    if n_ops is None:
+        n_ops = len(keys)
+    if write_frac == 1.0:
+        # The paper's Write-Only issues insertions only: never pad the
+        # stream with lookups once the pending keys run out.
+        n_ops = min(n_ops, len(pending))
+    ops: List[Operation] = []
+    present = [k for k, _ in _items(loaded)]
+    pi = 0
+    for _ in range(n_ops):
+        if pending and pi < len(pending) and rng.random() < write_frac:
+            k = pending[pi]
+            pi += 1
+            ops.append(Operation(INSERT, k, payload(k)))
+        else:
+            k = present[rng.randrange(len(present))]
+            ops.append(Operation(LOOKUP, k))
+    name = {0.0: "read-only", 0.2: "read-intensive", 0.5: "balanced",
+            0.8: "write-heavy", 1.0: "write-only"}.get(write_frac, f"{write_frac:.0%}-write")
+    return Workload(name, _items(loaded), ops, write_fraction=write_frac)
+
+
+def deletion_workload(
+    keys: Sequence[int],
+    delete_frac: float,
+    n_ops: Optional[int] = None,
+    seed: int = 0,
+) -> Workload:
+    """Figure 7: bulk-load everything, delete until half is gone."""
+    if not 0.0 <= delete_frac <= 1.0:
+        raise ValueError("delete_frac must be in [0, 1]")
+    rng = random.Random(f"del-{delete_frac}-{seed}")
+    keys = list(keys)
+    loaded = sorted(keys)
+    doomed = list(keys)
+    rng.shuffle(doomed)
+    doomed = doomed[: len(keys) // 2]
+    if n_ops is None:
+        n_ops = len(keys)
+    ops: List[Operation] = []
+    di = 0
+    for _ in range(n_ops):
+        if di < len(doomed) and rng.random() < delete_frac:
+            ops.append(Operation(DELETE, doomed[di]))
+            di += 1
+        else:
+            ops.append(Operation(LOOKUP, keys[rng.randrange(len(keys))]))
+    return Workload(f"{delete_frac:.0%}-delete", _items(loaded), ops,
+                    write_fraction=delete_frac)
+
+
+def shift_workload(
+    bulk_keys: Sequence[int],
+    insert_keys: Sequence[int],
+    n_ops: Optional[int] = None,
+    seed: int = 0,
+    name: str = "shift",
+) -> Workload:
+    """Figure 12: bulk X, balanced lookups-on-X / inserts-from-Y.
+
+    ``insert_keys`` are linearly rescaled into the bulk keys' domain
+    ("keys of both datasets are scaled to the same domain").
+    """
+    rng = random.Random(f"shift-{seed}")
+    bulk = sorted(set(bulk_keys))
+    lo, hi = bulk[0], bulk[-1]
+    src_lo, src_hi = min(insert_keys), max(insert_keys)
+    span_src = max(src_hi - src_lo, 1)
+    scaled = []
+    present = set(bulk)
+    for k in insert_keys:
+        s = lo + (k - src_lo) * (hi - lo) // span_src
+        while s in present:  # keep keys unique after rescaling
+            s += 1
+        present.add(s)
+        scaled.append(s)
+    rng.shuffle(scaled)
+    if n_ops is None:
+        n_ops = 2 * len(scaled)
+    ops: List[Operation] = []
+    si = 0
+    for _ in range(n_ops):
+        if si < len(scaled) and rng.random() < 0.5:
+            k = scaled[si]
+            si += 1
+            ops.append(Operation(INSERT, k, payload(k)))
+        else:
+            ops.append(Operation(LOOKUP, bulk[rng.randrange(len(bulk))]))
+    return Workload(name, _items(bulk), ops, write_fraction=0.5)
+
+
+def scan_workload(
+    keys: Sequence[int],
+    scan_size: int,
+    n_scans: int,
+    seed: int = 0,
+) -> Workload:
+    """Figure 13: fixed-size range queries from random start keys."""
+    if scan_size < 1:
+        raise ValueError("scan_size must be >= 1")
+    rng = random.Random(f"scan-{scan_size}-{seed}")
+    keys = sorted(keys)
+    ops = [
+        Operation(SCAN, keys[rng.randrange(len(keys))], count=scan_size)
+        for _ in range(n_scans)
+    ]
+    return Workload(f"scan-{scan_size}", _items(keys), ops)
+
+
+def ycsb_workload(
+    keys: Sequence[int],
+    variant: str,
+    n_ops: int,
+    theta: float = 0.99,
+    seed: int = 0,
+) -> Workload:
+    """The six core YCSB workloads with zipfian key choice.
+
+    The paper evaluates A/B/C (Appendix E); D/E/F are provided for
+    completeness with YCSB's standard definitions:
+
+    * **A** — update heavy: 50% lookups, 50% updates,
+    * **B** — read heavy: 95% lookups, 5% updates,
+    * **C** — read only,
+    * **D** — read latest: 95% lookups biased to recent inserts,
+      5% inserts of new (larger) keys,
+    * **E** — short ranges: 95% scans (zipfian-length, mean ~50),
+      5% inserts,
+    * **F** — read-modify-write: 50% lookups, 50% lookup+update pairs.
+    """
+    if variant not in "ABCDEF" or len(variant) != 1:
+        raise ValueError("variant must be one of A..F")
+    rng = random.Random(f"ycsb-{variant}-{seed}")
+    keys = sorted(keys)
+    chooser = ScrambledZipfian(keys, theta=theta, seed=seed)
+    ops: List[Operation] = []
+    if variant in "ABC":
+        update_frac = {"A": 0.5, "B": 0.05, "C": 0.0}[variant]
+        for _ in range(n_ops):
+            k = chooser.next_key()
+            if rng.random() < update_frac:
+                ops.append(Operation(UPDATE, k, payload(k) ^ 0xFF))
+            else:
+                ops.append(Operation(LOOKUP, k))
+        return Workload(f"ycsb-{variant}", _items(keys), ops,
+                        write_fraction=update_frac)
+    if variant == "D":
+        # Read-latest: new keys append past the current maximum; reads
+        # prefer the most recent inserts (zipfian over recency).
+        recent: List[int] = list(keys[-100:])
+        next_key = keys[-1]
+        zipf = ZipfianGenerator(100, theta=theta, seed=seed)
+        for _ in range(n_ops):
+            if rng.random() < 0.05:
+                next_key += rng.randint(1, 1000)
+                recent.append(next_key)
+                if len(recent) > 100:
+                    recent.pop(0)
+                ops.append(Operation(INSERT, next_key, payload(next_key)))
+            else:
+                rank = zipf.next_rank()  # 0 = hottest = most recent
+                ops.append(Operation(LOOKUP, recent[-1 - min(rank, len(recent) - 1)]))
+        return Workload("ycsb-D", _items(keys), ops, write_fraction=0.05)
+    if variant == "E":
+        next_key = keys[-1]
+        for _ in range(n_ops):
+            if rng.random() < 0.05:
+                next_key += rng.randint(1, 1000)
+                ops.append(Operation(INSERT, next_key, payload(next_key)))
+            else:
+                start = chooser.next_key()
+                length = max(1, min(100, int(rng.expovariate(1 / 50.0))))
+                ops.append(Operation(SCAN, start, count=length))
+        return Workload("ycsb-E", _items(keys), ops, write_fraction=0.05)
+    # F: read-modify-write — modelled as lookup followed by update; the
+    # op stream carries the update, the runner's update path reads first.
+    for _ in range(n_ops):
+        k = chooser.next_key()
+        if rng.random() < 0.5:
+            ops.append(Operation(LOOKUP, k))
+        else:
+            ops.append(Operation(UPDATE, k, payload(k) ^ 0xF0F0))
+    return Workload("ycsb-F", _items(keys), ops, write_fraction=0.5)
+
+
+#: The paper's five insert mixes, in heatmap order.
+MIX_FRACTIONS = (0.0, 0.2, 0.5, 0.8, 1.0)
+MIX_NAMES = ("read-only", "read-intensive", "balanced", "write-heavy", "write-only")
+
+
+def save_workload(workload: Workload, path: str) -> None:
+    """Persist a workload to a JSON file (exact-replay reproducibility).
+
+    Payloads must be JSON-serializable; the builders in this module
+    only produce integers.
+    """
+    import json
+
+    record = {
+        "format": "gre-workload-1",
+        "name": workload.name,
+        "write_fraction": workload.write_fraction,
+        "bulk_items": [[k, v] for k, v in workload.bulk_items],
+        "operations": [
+            [op.op, op.key, op.value, op.count] for op in workload.operations
+        ],
+    }
+    with open(path, "w") as f:
+        json.dump(record, f)
+
+
+def load_workload(path: str) -> Workload:
+    """Load a workload saved by :func:`save_workload`."""
+    import json
+
+    with open(path) as f:
+        record = json.load(f)
+    if record.get("format") != "gre-workload-1":
+        raise ValueError(f"{path!r} is not a GRE workload file")
+    return Workload(
+        name=record["name"],
+        bulk_items=[(k, v) for k, v in record["bulk_items"]],
+        operations=[
+            Operation(op, key, value, count)
+            for op, key, value, count in record["operations"]
+        ],
+        write_fraction=record["write_fraction"],
+    )

@@ -1,0 +1,279 @@
+"""Synthetic stand-ins for the paper's eleven real datasets (Table 2).
+
+The originals (SOSD + GRE additions) are multi-GB downloads we cannot
+fetch offline.  What the paper's analysis actually consumes is each
+dataset's *position in the (global, local) PLA-hardness plane* and a
+few distributional quirks (fb's outliers, wiki's duplicates, planet's
+CDF deflection).  Each generator below reproduces its dataset's
+documented character:
+
+======== ============================== =======================================
+name     paper's description             CDF character reproduced
+======== ============================== =======================================
+covid    uniformly sampled Tweet IDs     uniform → easy/easy
+wise     WISE partition keys             uniform → easy/easy
+stack    Stackoverflow vote IDs          near-sequential, small gaps → easy
+libio    libraries.io repository IDs     sequential w/ bursty gaps → easy
+history  OSM history node IDs            a few linear regimes → easy-moderate
+books    Amazon sales popularity         smooth convex (power-law) → moderate
+wiki     Wikipedia edit timestamps       near-linear bursts + DUPLICATES
+genome   loci pairs in human chromosomes globally smooth, locally bumpy
+                                         (dense micro-clusters) → local-hard
+fb       upsampled Facebook user IDs     locally chaotic + a few enormous
+                                         outlier keys → local-hard
+planet   OSM planet IDs                  sharp density deflection + drifting
+                                         curvature → global-hard
+osm      OSM locations (1-D projection   multi-scale fractal clustering →
+         of spatial data)                hard in BOTH dimensions
+======== ============================== =======================================
+
+All generators are deterministic in ``(n, seed)`` and return sorted
+unique keys (except ``wiki``, which returns sorted keys with ~10%
+duplicates, as in SOSD).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List
+
+Keys = List[int]
+
+_U64_MAX = 2**63  # stay comfortably inside u64
+
+
+def _unique_sorted(keys: Keys) -> Keys:
+    return sorted(set(keys))
+
+
+def _uniform(n: int, rng: random.Random, lo: int, hi: int) -> Keys:
+    keys = set()
+    while len(keys) < n:
+        keys.add(rng.randrange(lo, hi))
+    return sorted(keys)
+
+
+# ---------------------------------------------------------------------------
+# Easy datasets
+# ---------------------------------------------------------------------------
+
+def covid(n: int, seed: int = 0) -> Keys:
+    """Uniformly sampled Tweet IDs (Snowflake-style 64-bit)."""
+    rng = random.Random(f"covid-{seed}")
+    return _uniform(n, rng, 1_200_000_000_000_000_000, 1_400_000_000_000_000_000)
+
+
+def wise(n: int, seed: int = 0) -> Keys:
+    """WISE survey partition keys: uniform over the key domain."""
+    rng = random.Random(f"wise-{seed}")
+    return _uniform(n, rng, 0, _U64_MAX)
+
+
+def stack(n: int, seed: int = 0) -> Keys:
+    """Stackoverflow vote IDs: sequential with small random holes."""
+    rng = random.Random(f"stack-{seed}")
+    keys = []
+    k = 10_000_000
+    for _ in range(n):
+        k += rng.randint(1, 8)
+        keys.append(k)
+    return keys
+
+
+def libio(n: int, seed: int = 0) -> Keys:
+    """libraries.io repository IDs: sequential with bursty gaps."""
+    rng = random.Random(f"libio-{seed}")
+    keys = []
+    k = 1_000_000
+    for _ in range(n):
+        k += rng.randint(1, 4) if rng.random() < 0.995 else rng.randint(50, 400)
+        keys.append(k)
+    return keys
+
+
+def history(n: int, seed: int = 0) -> Keys:
+    """OSM history node IDs: a handful of linear density regimes."""
+    rng = random.Random(f"history-{seed}")
+    regimes = [1, 12, 3, 40, 7]
+    keys = []
+    k = 0
+    per = n // len(regimes)
+    for step in regimes:
+        for _ in range(per):
+            k += rng.randint(1, 2 * step)
+            keys.append(k)
+    while len(keys) < n:
+        k += rng.randint(1, 4)
+        keys.append(k)
+    return keys[:n]
+
+
+def books(n: int, seed: int = 0) -> Keys:
+    """Amazon book popularity: smooth convex power-law CDF."""
+    rng = random.Random(f"books-{seed}")
+    keys = []
+    k = 0
+    for i in range(n):
+        # Gap grows polynomially with rank: smooth global curvature.
+        base = 1 + (i / n) ** 2 * 2000
+        k += max(1, int(rng.expovariate(1.0 / base)))
+        keys.append(k)
+    return keys
+
+
+def wiki(n: int, seed: int = 0) -> Keys:
+    """Wikipedia edit timestamps: bursty seconds, ~10% duplicates.
+
+    The only dataset with duplicate keys (used by Appendix B).
+    """
+    rng = random.Random(f"wiki-{seed}")
+    keys = []
+    t = 1_000_000_000
+    while len(keys) < n:
+        t += rng.randint(0, 3)
+        burst = 1 + (rng.randrange(10) == 0) * rng.randint(1, 3)
+        for _ in range(min(burst, n - len(keys))):
+            keys.append(t)
+    return keys
+
+
+def wiki_unique(n: int, seed: int = 0) -> Keys:
+    """De-duplicated wiki variant for unique-key experiments."""
+    keys = _unique_sorted(wiki(int(n * 1.25), seed))
+    while len(keys) < n:
+        keys = _unique_sorted(wiki(int(n * 1.6), seed + 1))
+    return keys[:n]
+
+
+# ---------------------------------------------------------------------------
+# Hard datasets
+# ---------------------------------------------------------------------------
+
+def genome(n: int, seed: int = 0) -> Keys:
+    """Human-genome loci pairs: smooth at macro scale, bumpy locally.
+
+    Micro-clusters of ~100 keys sit at uniformly-spread centres: a
+    coarse ε=4096 line absorbs whole clusters (low global H), but at
+    ε=32 every cluster needs several of its own segments (high local H).
+    """
+    rng = random.Random(f"genome-{seed}")
+    cluster_size = 100
+    n_clusters = max(1, n // cluster_size)
+    span = _U64_MAX // (n_clusters + 1)
+    keys = set()
+    for c in range(n_clusters):
+        centre = (c + 1) * span + rng.randrange(-span // 8, span // 8)
+        width = rng.randint(200, 4000)  # dense: ~100 keys in a tiny range
+        for _ in range(cluster_size):
+            keys.add(centre + rng.randrange(width))
+    keys = sorted(keys)
+    rng2 = random.Random(f"genome-fill-{seed}")
+    while len(keys) < n:
+        keys.append(rng2.randrange(_U64_MAX))
+        keys = _unique_sorted(keys)
+    return keys[:n]
+
+
+def fb(n: int, seed: int = 0) -> Keys:
+    """Upsampled Facebook user IDs: chaotic local density + outliers.
+
+    Gap sizes follow a heavy-tailed lognormal (densities change every
+    few keys → high local hardness) and a few extreme keys near 2^62
+    reproduce the outliers that fool the MSE metric (Appendix D).
+    """
+    rng = random.Random(f"fb-{seed}")
+    keys = []
+    k = 0
+    for _ in range(n - 3):
+        k += max(1, int(rng.lognormvariate(4.0, 2.5)))
+        keys.append(k)
+    # The infamous outliers.
+    keys.extend([2**62, 2**62 + 2**55, 2**62 + 2**58])
+    return _unique_sorted(keys)[:n]
+
+
+def planet(n: int, seed: int = 0) -> Keys:
+    """OSM planet IDs: sharp CDF deflection (Figure 1a) + curvature.
+
+    ~70% of keys crowd a small dense prefix whose density itself drifts
+    (several coarse segments), then the CDF deflects into a sparse tail
+    — high *global* hardness, mild local hardness.
+    """
+    rng = random.Random(f"planet-{seed}")
+    keys = set()
+    n_dense = int(n * 0.7)
+    # Dense region whose density itself shifts through many coarse
+    # regimes (log-uniform densities): every regime boundary costs the
+    # coarse PLA another segment — global hardness.
+    k = 0
+    dense = []
+    n_regimes = 40
+    per = max(1, n_dense // n_regimes)
+    for _ in range(n_regimes):
+        density = math.exp(rng.uniform(0.0, 7.0))  # gap scale 1 .. ~1100
+        for _ in range(per):
+            k += max(1, int(rng.uniform(0.5, 1.5) * density))
+            dense.append(k)
+    deflection = dense[-1]
+    sparse_span = deflection * 2000  # tail is ~2000x sparser
+    sparse = sorted(rng.randrange(deflection + 1, deflection + sparse_span)
+                    for _ in range(n - len(dense)))
+    keys = _unique_sorted(dense + sparse)
+    rng2 = random.Random(f"planet-fill-{seed}")
+    while len(keys) < n:
+        keys.append(deflection + rng2.randrange(sparse_span))
+        keys = _unique_sorted(keys)
+    return keys[:n]
+
+
+def osm(n: int, seed: int = 0) -> Keys:
+    """OSM locations: 1-D projection of spatial data → multi-scale
+    fractal clustering, hard at every ε (the paper's worst case).
+
+    Generated with a multiplicative cascade: the key space is split
+    recursively with heavily skewed mass, giving clusters inside
+    clusters inside clusters.
+    """
+    rng = random.Random(f"osm-{seed}")
+
+    def cascade(lo: int, hi: int, count: int, depth: int, out: set) -> None:
+        if count <= 0 or hi - lo < 2:
+            return
+        if depth == 0 or count < 8:
+            for _ in range(count):
+                out.add(rng.randrange(lo, hi))
+            return
+        mid = (lo + hi) // 2
+        w = rng.betavariate(0.35, 0.35)  # strongly skewed split
+        left = int(count * w)
+        cascade(lo, mid, left, depth - 1, out)
+        cascade(mid, hi, count - left, depth - 1, out)
+
+    out: set = set()
+    cascade(0, _U64_MAX, int(n * 1.05), 18, out)
+    keys = sorted(out)
+    rng2 = random.Random(f"osm-fill-{seed}")
+    while len(keys) < n:
+        keys.append(rng2.randrange(_U64_MAX))
+        keys = _unique_sorted(keys)
+    return keys[:n]
+
+
+#: All stand-ins, keyed by the paper's dataset names.  ``wiki`` maps to
+#: the unique variant used in the main experiments; ``wiki_dup`` is the
+#: duplicated original for Appendix B.
+GENERATORS: Dict[str, Callable[[int, int], Keys]] = {
+    "covid": covid,
+    "wise": wise,
+    "stack": stack,
+    "libio": libio,
+    "history": history,
+    "books": books,
+    "wiki": wiki_unique,
+    "wiki_dup": wiki,
+    "genome": genome,
+    "fb": fb,
+    "planet": planet,
+    "osm": osm,
+}

@@ -1,0 +1,67 @@
+"""Zipfian key chooser for the YCSB workloads (Appendix E).
+
+Implements the bounded Zipfian generator of Gray et al. ("Quickly
+generating billion-record synthetic databases") exactly as YCSB does,
+including the scrambled variant that spreads the hot items across the
+key space.  Default constant θ = 0.99 (YCSB's default, used by the
+paper).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+
+class ZipfianGenerator:
+    """Ranks in ``[0, n)`` with Zipfian popularity (rank 0 hottest)."""
+
+    def __init__(self, n: int, theta: float = 0.99, seed: int = 0) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self._rng = random.Random(f"zipf-{n}-{theta}-{seed}")
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next_rank(self) -> int:
+        """Next Zipfian-distributed rank (Gray et al.'s algorithm)."""
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+
+
+class ScrambledZipfian:
+    """YCSB's scrambled Zipfian: hot ranks hashed across the keyspace."""
+
+    def __init__(self, keys: List[int], theta: float = 0.99, seed: int = 0) -> None:
+        self.keys = keys
+        self._gen = ZipfianGenerator(len(keys), theta, seed)
+
+    @staticmethod
+    def _fnv_hash(value: int) -> int:
+        """FNV-1a 64-bit, as used by YCSB's scrambled generator."""
+        h = 0xCBF29CE484222325
+        for _ in range(8):
+            h ^= value & 0xFF
+            h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+            value >>= 8
+        return h
+
+    def next_key(self) -> int:
+        rank = self._gen.next_rank()
+        return self.keys[self._fnv_hash(rank) % len(self.keys)]

@@ -1,0 +1,160 @@
+"""Hardness-conscious index selection (the paper's "Tomorrow" section).
+
+    "the hardness of a dataset can be added as a new feature/dimension
+     in index selection tools [...] When those components are ready,
+     ALEX+ would also be ready."
+
+:class:`AdaptiveIndex` is that component: at bulk-load time it measures
+the data's (global, local) PLA hardness, combines it with a declared
+workload profile, and instantiates the backend the paper's findings
+recommend.  It then behaves as a normal ordered index, delegating every
+operation — so applications can adopt "the right index" without
+committing to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.hardness import pla_hardness
+from repro.datasets.registry import scaled_epsilons
+from repro.indexes.alex import ALEX
+from repro.indexes.art import ART
+from repro.indexes.base import Key, MemoryBreakdown, OrderedIndex, Value
+from repro.indexes.lipp import LIPP
+from repro.indexes.pgm import PGMIndex
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """What the application expects to do with the index."""
+
+    write_fraction: float = 0.2
+    needs_range_scans: bool = False
+    needs_deletes: bool = False
+    #: Hard cap on index bytes per key (None = unconstrained).
+    memory_budget_bytes_per_key: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    index_name: str
+    reasons: Tuple[str, ...]
+    global_hardness: int
+    local_hardness: int
+
+
+def recommend(
+    keys: Sequence[int], profile: WorkloadProfile
+) -> Recommendation:
+    """The paper's decision rules (Messages 1-12) as a function."""
+    n = max(len(keys), 2)
+    g_eps, l_eps = scaled_epsilons(n)
+    g = pla_hardness(keys, g_eps)
+    l = pla_hardness(keys, l_eps)
+    g_hard = g > 8
+    l_hard = l > n / 60
+    reasons: List[str] = []
+
+    tight_memory = (
+        profile.memory_budget_bytes_per_key is not None
+        and profile.memory_budget_bytes_per_key < 40
+    )
+    if tight_memory and profile.write_fraction >= 0.8 and not profile.needs_range_scans:
+        name = "PGM"
+        reasons.append("write-dominated under a tight memory budget: "
+                       "LSM-style packed runs (paper's 'Today' advice)")
+    elif (g_hard or l_hard) and profile.write_fraction >= 0.5:
+        name = "ART"
+        reasons.append("hard data with >=50% writes: learned indexes lose "
+                       "their edge (Message 3); ART is the robust winner")
+    elif profile.needs_range_scans:
+        name = "ALEX"
+        reasons.append("range scans rule out LIPP's unified nodes "
+                       "(Message 12); ALEX scans gapped leaves well")
+    elif profile.write_fraction <= 0.2 and not tight_memory:
+        name = "LIPP"
+        reasons.append("read-mostly: LIPP's exact-position lookups lead "
+                       "(Messages 1/4) — at a documented memory premium")
+    else:
+        name = "ALEX"
+        reasons.append("balanced default: ALEX is the paper's "
+                       "'almost ready' pick (performance, space, robustness)")
+    if tight_memory and name == "LIPP":
+        name = "ALEX"
+        reasons.append("memory budget forbids LIPP (4-5x ALEX, Message 9)")
+    return Recommendation(name, tuple(reasons), g, l)
+
+
+_FACTORIES = {
+    "ALEX": ALEX,
+    "LIPP": LIPP,
+    "ART": ART,
+    "PGM": lambda: PGMIndex(check_duplicates=True),
+}
+
+
+class AdaptiveIndex(OrderedIndex):
+    """An ordered index that picks its backend from data + workload."""
+
+    name = "Adaptive"
+    is_learned = True  # may be; reflects the common case
+    supports_delete = True
+    supports_range = True
+
+    def __init__(self, profile: Optional[WorkloadProfile] = None, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.profile = profile if profile is not None else WorkloadProfile()
+        self._backend: OrderedIndex = ALEX(meter=self.meter)
+        self.recommendation: Optional[Recommendation] = None
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        keys = [k for k, _ in items]
+        self.recommendation = recommend(keys, self.profile)
+        factory = _FACTORIES[self.recommendation.index_name]
+        self._backend = factory()
+        self._backend.meter = self.meter
+        self._backend.bulk_load(items)
+
+    # -- delegation ----------------------------------------------------------
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        value = self._backend.lookup(key)
+        self.last_op = self._backend.last_op
+        return value
+
+    def insert(self, key: Key, value: Value) -> bool:
+        ok = self._backend.insert(key, value)
+        self.last_op = self._backend.last_op
+        return ok
+
+    def update(self, key: Key, value: Value) -> bool:
+        return self._backend.update(key, value)
+
+    def delete(self, key: Key) -> bool:
+        if not self._backend.supports_delete:
+            raise NotImplementedError(
+                f"backend {self._backend.name} does not support deletes; "
+                "declare needs_deletes in the WorkloadProfile"
+            )
+        ok = self._backend.delete(key)
+        self.last_op = self._backend.last_op
+        return ok
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        return self._backend.range_scan(start, count)
+
+    def memory_usage(self) -> MemoryBreakdown:
+        return self._backend.memory_usage()
+
+    def __len__(self) -> int:
+        return len(self._backend)
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name

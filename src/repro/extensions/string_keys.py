@@ -1,0 +1,241 @@
+"""String keys over numeric learned indexes (the paper's future work).
+
+The paper scopes itself to one-dimensional *numeric* keys and points to
+SIndex [55] / the last-mile string work [50] for strings.  This
+extension closes the gap pragmatically, the way production systems
+front numeric indexes with strings:
+
+* a string maps to its first 8 bytes as a big-endian integer — an
+  **order-preserving** projection (lexicographic order of the prefixes
+  equals numeric order of the codes),
+* strings sharing an 8-byte prefix collide; collisions live in a small
+  sorted bucket stored as the prefix key's payload,
+* lookups therefore cost one numeric index probe plus (rarely) a bucket
+  scan; range scans walk the numeric index in order and expand buckets.
+
+This preserves every property the underlying index brings (hardness
+sensitivity, SMO behaviour, memory shape) while supporting arbitrary
+``str``/``bytes`` keys.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.indexes.base import OrderedIndex
+
+StrKey = Union[str, bytes]
+
+_PREFIX_BYTES = 8
+
+
+def encode_prefix(key: StrKey) -> int:
+    """Order-preserving 64-bit code of a string's first 8 bytes."""
+    raw = key.encode("utf-8") if isinstance(key, str) else bytes(key)
+    return int.from_bytes(raw[:_PREFIX_BYTES].ljust(_PREFIX_BYTES, b"\0"), "big")
+
+
+def _norm(key: StrKey) -> bytes:
+    return key.encode("utf-8") if isinstance(key, str) else bytes(key)
+
+
+class _Bucket:
+    """Sorted (full_key, value) pairs sharing one 8-byte prefix."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        self.entries: List[Tuple[bytes, Any]] = []
+
+    def get(self, key: bytes) -> Optional[Any]:
+        i = bisect.bisect_left(self.entries, (key,))
+        if i < len(self.entries) and self.entries[i][0] == key:
+            return self.entries[i][1]
+        return None
+
+    def put(self, key: bytes, value: Any) -> bool:
+        """Insert; False if the key already existed (unchanged)."""
+        i = bisect.bisect_left(self.entries, (key,))
+        if i < len(self.entries) and self.entries[i][0] == key:
+            return False
+        self.entries.insert(i, (key, value))
+        return True
+
+    def replace(self, key: bytes, value: Any) -> bool:
+        i = bisect.bisect_left(self.entries, (key,))
+        if i < len(self.entries) and self.entries[i][0] == key:
+            self.entries[i] = (key, value)
+            return True
+        return False
+
+    def remove(self, key: bytes) -> bool:
+        i = bisect.bisect_left(self.entries, (key,))
+        if i < len(self.entries) and self.entries[i][0] == key:
+            del self.entries[i]
+            return True
+        return False
+
+
+class StringKeyIndex:
+    """Ordered map from strings/bytes to values, backed by any
+    :class:`~repro.indexes.base.OrderedIndex`.
+
+    >>> from repro import ALEX
+    >>> idx = StringKeyIndex(ALEX)
+    >>> idx.bulk_load([(b"apple", 1), (b"banana", 2)])
+    >>> idx.lookup("apple")
+    1
+    """
+
+    def __init__(self, base_factory: Callable[[], OrderedIndex]) -> None:
+        self._index = base_factory()
+        self._size = 0
+
+    @property
+    def base_index(self) -> OrderedIndex:
+        """The numeric index underneath (for metering/memory access)."""
+        return self._index
+
+    # -- build --------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[StrKey, Any]]) -> None:
+        """Build from items sorted by (byte-wise) key."""
+        normed = [(_norm(k), v) for k, v in items]
+        for a, b in zip(normed, normed[1:]):
+            if a[0] >= b[0]:
+                raise ValueError("bulk_load requires strictly ascending unique keys")
+        numeric: List[Tuple[int, _Bucket]] = []
+        for k, v in normed:
+            code = encode_prefix(k)
+            if numeric and numeric[-1][0] == code:
+                numeric[-1][1].put(k, v)
+            else:
+                bucket = _Bucket()
+                bucket.put(k, v)
+                numeric.append((code, bucket))
+        self._index.bulk_load(numeric)
+        self._size = len(items)
+
+    # -- point operations ---------------------------------------------------------
+
+    def lookup(self, key: StrKey) -> Optional[Any]:
+        k = _norm(key)
+        bucket = self._index.lookup(encode_prefix(k))
+        return bucket.get(k) if bucket is not None else None
+
+    def insert(self, key: StrKey, value: Any) -> bool:
+        k = _norm(key)
+        code = encode_prefix(k)
+        bucket = self._index.lookup(code)
+        if bucket is None:
+            bucket = _Bucket()
+            bucket.put(k, value)
+            self._index.insert(code, bucket)
+            self._size += 1
+            return True
+        if bucket.put(k, value):
+            self._size += 1
+            return True
+        return False
+
+    def update(self, key: StrKey, value: Any) -> bool:
+        k = _norm(key)
+        bucket = self._index.lookup(encode_prefix(k))
+        return bucket.replace(k, value) if bucket is not None else False
+
+    def delete(self, key: StrKey) -> bool:
+        if not self._index.supports_delete:
+            raise NotImplementedError(
+                f"{self._index.name} does not support deletes"
+            )
+        k = _norm(key)
+        code = encode_prefix(k)
+        bucket = self._index.lookup(code)
+        if bucket is None or not bucket.remove(k):
+            return False
+        self._size -= 1
+        if not bucket.entries:
+            self._index.delete(code)
+        return True
+
+    # -- scans -----------------------------------------------------------------
+
+    def range_scan(self, start: StrKey, count: int) -> List[Tuple[bytes, Any]]:
+        """Up to ``count`` pairs with key >= ``start``, byte order."""
+        s = _norm(start)
+        out: List[Tuple[bytes, Any]] = []
+        probe = encode_prefix(s)
+        # Over-fetch numeric entries: each may expand to several strings.
+        fetch = max(count, 8)
+        while len(out) < count:
+            rows = self._index.range_scan(probe, fetch)
+            if not rows:
+                break
+            for code, bucket in rows:
+                for k, v in bucket.entries:
+                    if k >= s and len(out) < count:
+                        out.append((k, v))
+            last_code = rows[-1][0]
+            if len(rows) < fetch:
+                break  # exhausted the index
+            probe = last_code + 1
+        return out[:count]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: StrKey) -> bool:
+        return self.lookup(key) is not None
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str) -> int:
+        """Crash-consistent snapshot (length-prefixed string records)."""
+        import os
+        import struct
+        import zlib
+
+        body = bytearray()
+        for k, v in self.range_scan(b"", len(self)):
+            if not isinstance(v, int) or not 0 <= v < 2**64:
+                raise ValueError("string-index snapshots need u64 values")
+            body += struct.pack("<I", len(k)) + k + struct.pack("<Q", v)
+        header = struct.pack("<8sQI", b"GRESTR1\0", self._size,
+                             zlib.crc32(bytes(body)))
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as f:
+            f.write(header)
+            f.write(body)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+        return len(header) + len(body)
+
+    @classmethod
+    def load(cls, base_factory: Callable[[], OrderedIndex], path: str) -> "StringKeyIndex":
+        """Rebuild a string index from :meth:`save`'s snapshot."""
+        import struct
+        import zlib
+
+        with open(path, "rb") as f:
+            raw = f.read()
+        magic, n, crc = struct.unpack_from("<8sQI", raw)
+        if magic != b"GRESTR1\0":
+            raise ValueError(f"{path!r} is not a string-index snapshot")
+        body = raw[struct.calcsize("<8sQI"):]
+        if zlib.crc32(body) != crc:
+            raise ValueError("string-index snapshot corrupt: bad checksum")
+        items: List[Tuple[bytes, Any]] = []
+        off = 0
+        for _ in range(n):
+            (klen,) = struct.unpack_from("<I", body, off)
+            off += 4
+            k = bytes(body[off : off + klen])
+            off += klen
+            (v,) = struct.unpack_from("<Q", body, off)
+            off += 8
+            items.append((k, v))
+        index = cls(base_factory)
+        index.bulk_load(items)
+        return index

@@ -1,0 +1,812 @@
+"""ALEX — an updatable adaptive learned index (Ding et al., SIGMOD 2020).
+
+Structure ("ML for subspace lookup" + "sparse nodes" in the paper's
+taxonomy):
+
+* **Inner nodes** hold a linear model and a power-of-two pointer array.
+  A traversal *computes* the child slot from the model — no search.
+  Multiple adjacent slots may point to the same child.
+* **Data nodes** are gapped arrays at a target density (0.6/0.7/0.8
+  min/avg/max, Table 1).  A lookup predicts a slot with the node's model
+  and runs an exponential "last-mile" search.  An insert places the key
+  in a gap or shifts keys toward the nearest gap — the *key shifting*
+  whose write amplification Figure 3/Table 3 dissect.
+* **SMOs** are performance-driven: each data node keeps runtime
+  statistics (shifts and search distance per insert); when density
+  exceeds the bound, a cost model picks *expand & retrain* (model still
+  accurate) or *split sideways* (model degraded), mirroring ALEX's
+  empirical cost model.
+
+Deletes erase in place (possibly contracting the node) and never
+degrade the model — the paper's "no model pollution" result
+(Message 8).  Duplicate keys are supported via inlining, with an
+optional linked-list mode used by the Appendix-B experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.cost import (
+    ALLOC_NODE,
+    charge_local_search,
+    KEY_COMPARE,
+    KEY_SHIFT,
+    MODEL_EVAL,
+    NODE_HOP,
+    PHASE_COLLISION,
+    PHASE_SEARCH,
+    PHASE_SMO,
+    PHASE_STATS,
+    PHASE_TRAVERSE,
+    SCAN_ENTRY,
+    SLOT_INIT,
+    STATS_UPDATE,
+    TRAIN_KEY,
+)
+from repro.indexes.base import (
+    KEY_BYTES,
+    PAYLOAD_BYTES,
+    POINTER_BYTES,
+    Key,
+    MemoryBreakdown,
+    OpRecord,
+    OrderedIndex,
+    Value,
+)
+from repro.indexes.linear_model import LinearModel
+
+#: Sentinel for gaps at the tail of a data node (larger than any u64 key).
+_GAP_HIGH = 1 << 70
+
+_DATA_HEADER_BYTES = 48  # model, stats, lock word, counters
+_INNER_HEADER_BYTES = 32
+
+
+class _DataNode:
+    """Gapped array leaf.
+
+    ``keys[i]`` is the real key when ``present[i]``; a gap slot holds a
+    copy of its nearest occupied *right* neighbour (``_GAP_HIGH`` when
+    none), so the whole array stays sorted and exponential search works
+    without consulting the bitmap.
+    """
+
+    __slots__ = (
+        "node_id", "keys", "values", "present", "num_keys",
+        "model", "prev", "next",
+        "inserts_since_build", "shifts_since_build", "search_since_build",
+    )
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.keys: List[Key] = []
+        self.values: List[Value] = []
+        self.present: List[bool] = []
+        self.num_keys = 0
+        self.model = LinearModel()
+        self.prev: Optional["_DataNode"] = None
+        self.next: Optional["_DataNode"] = None
+        self.inserts_since_build = 0
+        self.shifts_since_build = 0
+        self.search_since_build = 0
+
+    @property
+    def capacity(self) -> int:
+        return len(self.keys)
+
+    def density(self) -> float:
+        return self.num_keys / self.capacity if self.capacity else 1.0
+
+    def occupied_items(self) -> List[Tuple[Key, Value]]:
+        return [
+            (self.keys[i], self.values[i])
+            for i in range(self.capacity)
+            if self.present[i]
+        ]
+
+
+class _InnerNode:
+    __slots__ = ("node_id", "model", "children")
+
+    def __init__(self, node_id: int, model: LinearModel, children: List[Any]) -> None:
+        self.node_id = node_id
+        self.model = model
+        self.children = children  # power-of-two sized
+
+    def child_slot(self, key: Key) -> int:
+        return self.model.predict_clamped(key, len(self.children))
+
+
+class ALEX(OrderedIndex):
+    """ALEX with the paper's Table-1 configuration (scaled).
+
+    Parameters
+    ----------
+    max_data_keys:
+        Maximum keys per data node — the stand-in for the paper's 16 MB
+        node-size cap; ALEX+ uses a smaller cap (512 KB).
+    density_bounds:
+        ``(min, avg, max)`` data node densities.
+    duplicate_mode:
+        ``None`` (unique keys), ``"inline"`` or ``"linked_list"``
+        (Appendix B).
+    """
+
+    name = "ALEX"
+    is_learned = True
+    supports_delete = True
+    supports_range = True
+
+    def __init__(
+        self,
+        max_data_keys: int = 16384,
+        density_bounds: Tuple[float, float, float] = (0.6, 0.7, 0.8),
+        target_leaf_keys: int = 512,
+        max_fanout: int = 1 << 14,
+        duplicate_mode: Optional[str] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        if duplicate_mode not in (None, "inline", "linked_list"):
+            raise ValueError(f"unknown duplicate_mode: {duplicate_mode!r}")
+        self.min_density, self.avg_density, self.max_density = density_bounds
+        # Node-size limits are *bytes* in ALEX (16MB / 512KB caps), so a
+        # lower fill factor means fewer keys per node: ALEX-M (fill 0.2)
+        # gets ~3.5x more data nodes and therefore finer-grained leaf
+        # models — the accuracy gain behind Figure 9.
+        density_scale = self.avg_density / 0.7
+        self.max_data_keys = max(64, int(max_data_keys * density_scale))
+        self.target_leaf_keys = max(32, int(target_leaf_keys * density_scale))
+        self.max_fanout = max_fanout
+        self.duplicate_mode = duplicate_mode
+        self._root: Any = self._new_data_node([])
+        self.smo_count = 0
+        self.expand_count = 0
+        self.split_count = 0
+
+    @property
+    def supports_duplicates(self) -> bool:  # type: ignore[override]
+        return self.duplicate_mode is not None
+
+    # -- node construction ---------------------------------------------------
+
+    def _new_data_node(self, items: Sequence[Tuple[Key, Value]]) -> _DataNode:
+        """Build a data node at average density with model-based layout."""
+        node = _DataNode(self._next_node_id())
+        n = len(items)
+        cap = max(8, int(math.ceil(n / self.avg_density)))
+        node.keys = [_GAP_HIGH] * cap
+        node.values = [None] * cap
+        node.present = [False] * cap
+        node.num_keys = n
+        self.meter.charge(ALLOC_NODE)
+        self.meter.charge(SLOT_INIT, cap)
+        if n == 0:
+            return node
+        keys = [k for k, _ in items]
+        node.model = LinearModel.train(keys).scaled(cap / max(n, 1))
+        self.meter.charge(TRAIN_KEY, n)
+        self._model_place(node, items)
+        self._fill_gaps(node)
+        return node
+
+    @staticmethod
+    def _model_place(node: _DataNode, items: Sequence[Tuple[Key, Value]]) -> None:
+        """Model-based placement: each key at ``max(prediction, prev+1)``,
+        with the tail compacted left when predictions overflow capacity.
+
+        Keys whose predictions collapse (e.g. a dense cluster under a
+        nearly-flat local slope) pack into contiguous runs — exactly the
+        runs whose shifting makes hard datasets hard for ALEX."""
+        cap = node.capacity
+        positions: List[int] = []
+        pos = -1
+        for k, _ in items:
+            pos = max(node.model.predict_clamped(k, cap), pos + 1)
+            positions.append(pos)
+        limit = cap - 1
+        for i in range(len(items) - 1, -1, -1):
+            if positions[i] > limit:
+                positions[i] = limit
+            limit = positions[i] - 1
+        for (k, v), p in zip(items, positions):
+            node.keys[p] = k
+            node.values[p] = v
+            node.present[p] = True
+
+    @staticmethod
+    def _fill_gaps(node: _DataNode) -> None:
+        """Rewrite gap slots with their nearest occupied right key."""
+        nxt = _GAP_HIGH
+        for i in range(node.capacity - 1, -1, -1):
+            if node.present[i]:
+                nxt = node.keys[i]
+            else:
+                node.keys[i] = nxt
+
+    # -- bulk load --------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        if self.duplicate_mode is None:
+            self.check_sorted_unique(items)
+        else:
+            self.check_sorted(items)
+        build_items = list(items)
+        if self.duplicate_mode == "linked_list" and build_items:
+            # The storage scheme applies at bulk load too: one slot per
+            # distinct key, duplicates chained off it.
+            grouped: List[Tuple[Key, Value]] = []
+            for k, v in build_items:
+                if grouped and grouped[-1][0] == k:
+                    prev = grouped[-1][1]
+                    if isinstance(prev, _DupChain):
+                        prev.values.append(v)
+                    else:
+                        grouped[-1] = (k, _DupChain([prev, v]))
+                        self.meter.charge(ALLOC_NODE)
+                else:
+                    grouped.append((k, v))
+            build_items = grouped
+        self._root = self._bulk_build(build_items)
+        self._size = len(items)
+        self._link_leaves()
+
+    def _bulk_build(self, items: List[Tuple[Key, Value]]) -> Any:
+        n = len(items)
+        if n <= self.target_leaf_keys:
+            return self._new_data_node(items)
+        fanout = 1 << max(1, math.ceil(math.log2(n / self.target_leaf_keys)))
+        fanout = min(fanout, self.max_fanout)
+        lo, hi = items[0][0], items[-1][0]
+        model = LinearModel.endpoints(lo, hi + 1, fanout + 1)
+        self.meter.charge(TRAIN_KEY, 2)
+        # Partition items by predicted slot.
+        groups: List[List[Tuple[Key, Value]]] = [[] for _ in range(fanout)]
+        for it in items:
+            s = min(model.predict_clamped(it[0], fanout + 1), fanout - 1)
+            groups[s].append(it)
+        if max(len(g) for g in groups) == n:
+            # Model failed to partition (extreme skew): split by median.
+            mid = n // 2
+            groups = [items[:mid], items[mid:]]
+            boundary = items[mid][0]
+            slope = 1.0 / max(boundary - items[0][0], 1)
+            model = LinearModel(slope, 0.0, items[0][0])
+            fanout = 2
+        children: List[Any] = [None] * fanout
+        prev_child: Any = None
+        for s in range(fanout):
+            if groups[s]:
+                prev_child = self._bulk_build(groups[s])
+            elif prev_child is None:
+                prev_child = self._new_data_node([])
+            children[s] = prev_child
+        # Leading empties fixed up to the first real child.
+        first = next(c for c in children if c is not None)
+        for s in range(fanout):
+            if children[s] is None:
+                children[s] = first
+        inner = _InnerNode(self._next_node_id(), model, children)
+        self.meter.charge(ALLOC_NODE)
+        return inner
+
+    def _link_leaves(self) -> None:
+        leaves: List[_DataNode] = []
+        seen = set()
+
+        def walk(node: Any) -> None:
+            if isinstance(node, _DataNode):
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    leaves.append(node)
+                return
+            for c in node.children:
+                walk(c)
+
+        walk(self._root)
+        for a, b in zip(leaves, leaves[1:]):
+            a.next = b
+            b.prev = a
+        if leaves:
+            leaves[0].prev = None
+            leaves[-1].next = None
+
+    # -- traversal ----------------------------------------------------------------
+
+    def _descend(self, key: Key, path: Optional[List[int]] = None) -> Tuple[_DataNode, List[Tuple[_InnerNode, int]]]:
+        node = self._root
+        parents: List[Tuple[_InnerNode, int]] = []
+        while isinstance(node, _InnerNode):
+            self.meter.charge(NODE_HOP)
+            self.meter.charge(MODEL_EVAL)
+            if path is not None:
+                path.append(node.node_id)
+            slot = node.child_slot(key)
+            parents.append((node, slot))
+            node = node.children[slot]
+        self.meter.charge(NODE_HOP)
+        if path is not None:
+            path.append(node.node_id)
+        return node, parents
+
+    def _leaf_lower_bound(self, node: _DataNode, key: Key) -> Tuple[int, int]:
+        """Exponential search from the model prediction; returns
+        ``(slot, probes)`` where slot is the leftmost slot with value >= key."""
+        cap = node.capacity
+        self.meter.charge(MODEL_EVAL)
+        hint = node.model.predict_clamped(key, cap)
+        keys = node.keys
+        probes = 1
+        if keys[hint] >= key:
+            bound = 1
+            lo = hint - bound
+            while lo >= 0 and keys[lo] >= key:
+                probes += 1
+                bound <<= 1
+                lo = hint - bound
+            lo = max(lo, 0)
+            hi = hint
+        else:
+            bound = 1
+            hi = hint + bound
+            while hi < cap and keys[hi] < key:
+                probes += 1
+                bound <<= 1
+                hi = hint + bound
+            hi = min(hi, cap)
+            lo = hint
+        while lo < hi:
+            probes += 1
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        charge_local_search(self.meter, probes, lo - hint)
+        return lo, probes
+
+    @staticmethod
+    def _occupied_at(node: _DataNode, pos: int, key: Key) -> int:
+        """First occupied slot >= pos whose value still equals ``key``.
+        Returns -1 when the key is not present."""
+        cap = node.capacity
+        while pos < cap and node.keys[pos] == key:
+            if node.present[pos]:
+                return pos
+            pos += 1
+        return -1
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        path: List[int] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            node, _ = self._descend(key, path)
+        with self.meter.phase(PHASE_SEARCH):
+            pos, probes = self._leaf_lower_bound(node, key)
+            occ = self._occupied_at(node, pos, key)
+        found = occ >= 0
+        self.last_op = OpRecord(
+            op="lookup", key=key, found=found, path=path,
+            nodes_traversed=len(path), search_distance=probes,
+        )
+        if not found:
+            return None
+        value = node.values[occ]
+        if self.duplicate_mode == "linked_list" and isinstance(value, _DupChain):
+            self.meter.charge(NODE_HOP)  # pointer chase to the chain
+            return value.values[0]
+        return value
+
+    # -- insert ------------------------------------------------------------------
+
+    def insert(self, key: Key, value: Value) -> bool:
+        path: List[int] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            node, parents = self._descend(key, path)
+        with self.meter.phase(PHASE_SEARCH):
+            pos, probes = self._leaf_lower_bound(node, key)
+            occ = self._occupied_at(node, pos, key)
+        if occ >= 0:
+            handled = self._insert_duplicate(node, occ, key, value, path, probes)
+            if handled is not None:
+                return handled
+        shifted = self._place(node, pos, key, value)
+        node.num_keys += 1
+        self._size += 1
+        with self.meter.phase(PHASE_STATS):
+            node.inserts_since_build += 1
+            node.shifts_since_build += shifted
+            node.search_since_build += probes
+            self.meter.charge(STATS_UPDATE)
+        created = 0
+        smo = False
+        if node.density() > self.max_density:
+            with self.meter.phase(PHASE_SMO):
+                created = self._smo(node, parents)
+            smo = True
+        self.last_op = OpRecord(
+            op="insert", key=key, path=path, nodes_traversed=len(path),
+            keys_shifted=shifted, nodes_created=created, smo=smo,
+            search_distance=probes,
+        )
+        return True
+
+    def _insert_duplicate(
+        self,
+        node: _DataNode,
+        occ: int,
+        key: Key,
+        value: Value,
+        path: List[int],
+        probes: int,
+    ) -> Optional[bool]:
+        """Handle an insert that hit an existing key.
+
+        Returns True/False when fully handled, or None to fall through to
+        a normal placement (inline duplicate mode).
+        """
+        if self.duplicate_mode is None:
+            self.last_op = OpRecord(
+                op="insert", key=key, found=True, path=path,
+                nodes_traversed=len(path), search_distance=probes,
+            )
+            return False
+        if self.duplicate_mode == "linked_list":
+            with self.meter.phase(PHASE_COLLISION):
+                current = node.values[occ]
+                if isinstance(current, _DupChain):
+                    # Head push: write a slab-allocated cell and swap the
+                    # head pointer — no chain traversal, no key shifting.
+                    # This is why the linked list wins inserts (Fig. B).
+                    current.values.append(value)
+                    self.meter.charge(SLOT_INIT, 2)
+                else:
+                    node.values[occ] = _DupChain([current, value])
+                    self.meter.charge(ALLOC_NODE)
+            self._size += 1  # chain entries live off-node; num_keys unchanged
+            self.last_op = OpRecord(
+                op="insert", key=key, found=True, path=path,
+                nodes_traversed=len(path), search_distance=probes,
+            )
+            return True
+        return None  # inline: place a second copy next to the first
+
+    def _place(self, node: _DataNode, pos: int, key: Key, value: Value) -> int:
+        """Put ``key`` into the array at/near ``pos``; returns keys shifted."""
+        with self.meter.phase(PHASE_COLLISION):
+            cap = node.capacity
+            if pos < cap and not node.present[pos]:
+                # Gap run: slots pos..first_occupied-1 all hold the same
+                # copied value; place at the prediction-closest legal slot.
+                end = pos
+                while end < cap and not node.present[end] and node.keys[end] == node.keys[pos]:
+                    end += 1
+                hint = node.model.predict_clamped(key, cap)
+                target = min(max(hint, pos), end - 1)
+                node.keys[target] = key
+                node.values[target] = value
+                node.present[target] = True
+                for i in range(pos, target):
+                    node.keys[i] = key
+                self.meter.charge(SLOT_INIT, target - pos + 1)
+                return 0
+            # Occupied (or past the end): shift toward the nearest gap.
+            left = pos - 1
+            while left >= 0 and node.present[left]:
+                left -= 1
+            right = pos
+            while right < cap and node.present[right]:
+                right += 1
+            use_right = right < cap and (left < 0 or right - pos <= pos - left)
+            if use_right:
+                for i in range(right, pos, -1):
+                    node.keys[i] = node.keys[i - 1]
+                    node.values[i] = node.values[i - 1]
+                    node.present[i] = True
+                node.keys[pos] = key
+                node.values[pos] = value
+                node.present[pos] = True
+                shifted = right - pos
+            elif left >= 0:
+                for i in range(left, pos - 1):
+                    node.keys[i] = node.keys[i + 1]
+                    node.values[i] = node.values[i + 1]
+                    node.present[i] = True
+                node.keys[pos - 1] = key
+                node.values[pos - 1] = value
+                node.present[pos - 1] = True
+                shifted = pos - 1 - left
+            else:
+                # No gap at all (should be prevented by density SMOs, but
+                # handle defensively): expand immediately, then retry.
+                self._expand(node)
+                return self._place(node, self._leaf_lower_bound(node, key)[0], key, value)
+            self.meter.charge(KEY_SHIFT, shifted)
+            return shifted
+
+    # -- SMOs --------------------------------------------------------------------
+
+    def _smo(self, node: _DataNode, parents: List[Tuple[_InnerNode, int]]) -> int:
+        """Expand or split an over-dense node; returns nodes created."""
+        self.smo_count += 1
+        inserts = max(node.inserts_since_build, 1)
+        avg_shift = node.shifts_since_build / inserts
+        avg_search = node.search_since_build / inserts
+        model_degraded = avg_shift > 16.0 or avg_search > 12.0
+        too_big = node.num_keys * 2 > self.max_data_keys
+        if too_big or (model_degraded and node.num_keys > self.target_leaf_keys):
+            return self._split_sideways(node, parents)
+        self._expand(node)
+        self.expand_count += 1
+        return 0
+
+    def _expand(self, node: _DataNode) -> None:
+        items = node.occupied_items()
+        n = len(items)
+        cap = max(8, int(math.ceil(n / self.avg_density)))
+        node.keys = [_GAP_HIGH] * cap
+        node.values = [None] * cap
+        node.present = [False] * cap
+        keys = [k for k, _ in items]
+        node.model = LinearModel.train(keys).scaled(cap / max(n, 1))
+        self.meter.charge(TRAIN_KEY, n)
+        self.meter.charge(SLOT_INIT, cap)
+        self.meter.charge(KEY_SHIFT, n)
+        self._model_place(node, items)
+        self._fill_gaps(node)
+        node.inserts_since_build = 0
+        node.shifts_since_build = 0
+        node.search_since_build = 0
+
+    def _split_sideways(self, node: _DataNode, parents: List[Tuple[_InnerNode, int]]) -> int:
+        self.split_count += 1
+        if not parents:
+            # Node is the root: grow a new inner node above it.
+            items = node.occupied_items()
+            mid = len(items) // 2
+            boundary = items[mid][0]
+            lo, hi = items[0][0], items[-1][0]
+            left = self._new_data_node(items[:mid])
+            right = self._new_data_node(items[mid:])
+            left.prev, left.next = node.prev, right
+            right.prev, right.next = left, node.next
+            if node.prev is not None:
+                node.prev.next = left
+            if node.next is not None:
+                node.next.prev = right
+            # Fanout-2 model with the boundary between the two slots.
+            slope = 1.0 / max(boundary - lo, 1)
+            model = LinearModel(slope, 0.0, lo)
+            inner = _InnerNode(self._next_node_id(), model, [left, right])
+            self.meter.charge(ALLOC_NODE)
+            self._root = inner
+            return 3
+        parent, slot = parents[-1]
+        # Contiguous run of parent slots pointing at this node.
+        s0 = slot
+        while s0 > 0 and parent.children[s0 - 1] is node:
+            s0 -= 1
+        s1 = slot + 1
+        while s1 < len(parent.children) and parent.children[s1] is node:
+            s1 += 1
+        if s1 - s0 >= 2:
+            # Split the slot run at the model boundary key.
+            b = (s0 + s1) // 2
+            boundary = self._slot_boundary_key(parent, b)
+            items = node.occupied_items()
+            split_at = 0
+            while split_at < len(items) and items[split_at][0] < boundary:
+                split_at += 1
+            if split_at == 0 or split_at == len(items):
+                # All keys routed to one side of the slot boundary: the
+                # parent model cannot separate them — split downward.
+                return self._split_down(node, parent, s0, s1)
+            left = self._new_data_node(items[:split_at])
+            right = self._new_data_node(items[split_at:])
+            self._replace_run(parent, s0, b, s1, node, left, right)
+            return 2
+        # Single slot: double the parent fanout (if allowed) and retry.
+        if len(parent.children) * 2 <= self.max_fanout:
+            self._double_fanout(parent)
+            # Slot indices doubled with the fanout: refresh before retrying.
+            parents[-1] = (parent, slot * 2)
+            return 1 + self._split_sideways(node, parents)
+        # Parent at max fanout: split downward into a new fanout-2 inner.
+        return self._split_down(node, parent, s0, s1)
+
+    def _split_down(self, node: _DataNode, parent: _InnerNode, s0: int, s1: int) -> int:
+        """Replace ``node`` with a fanout-2 inner splitting at the median."""
+        items = node.occupied_items()
+        mid = len(items) // 2
+        if mid == 0 or items[mid][0] == items[0][0]:
+            # Fewer than two distinct keys: nothing to split on.
+            self._expand(node)
+            self.expand_count += 1
+            return 0
+        boundary = items[mid][0]
+        left = self._new_data_node(items[:mid])
+        right = self._new_data_node(items[mid:])
+        slope = 1.0 / max(boundary - items[0][0], 1)
+        model = LinearModel(slope, 0.0, items[0][0])
+        inner = _InnerNode(self._next_node_id(), model, [left, right])
+        self.meter.charge(ALLOC_NODE)
+        self._splice_leaf_links(node, left, right)
+        for s in range(s0, s1):
+            parent.children[s] = inner
+        return 3
+
+    def _slot_boundary_key(self, parent: _InnerNode, slot: int) -> Key:
+        """Smallest key the parent model routes to ``slot``."""
+        return parent.model.inverse(slot)
+
+    def _replace_run(
+        self,
+        parent: _InnerNode,
+        s0: int,
+        b: int,
+        s1: int,
+        node: _DataNode,
+        left: _DataNode,
+        right: _DataNode,
+    ) -> None:
+        for s in range(s0, b):
+            parent.children[s] = left
+        for s in range(b, s1):
+            parent.children[s] = right
+        self.meter.charge(SLOT_INIT, s1 - s0)
+        self._splice_leaf_links(node, left, right)
+
+    def _splice_leaf_links(self, old: _DataNode, left: _DataNode, right: _DataNode) -> None:
+        left.prev, left.next = old.prev, right
+        right.prev, right.next = left, old.next
+        if old.prev is not None:
+            old.prev.next = left
+        if old.next is not None:
+            old.next.prev = right
+
+    def _double_fanout(self, parent: _InnerNode) -> None:
+        new_children: List[Any] = []
+        for c in parent.children:
+            new_children.append(c)
+            new_children.append(c)
+        parent.children = new_children
+        parent.model = parent.model.scaled(2.0)
+        self.meter.charge(ALLOC_NODE)
+        self.meter.charge(SLOT_INIT, len(new_children))
+
+    # -- update / delete -----------------------------------------------------------
+
+    def update(self, key: Key, value: Value) -> bool:
+        with self.meter.phase(PHASE_TRAVERSE):
+            node, _ = self._descend(key)
+        with self.meter.phase(PHASE_SEARCH):
+            pos, _ = self._leaf_lower_bound(node, key)
+            occ = self._occupied_at(node, pos, key)
+        if occ < 0:
+            return False
+        node.values[occ] = value
+        self.meter.charge(KEY_SHIFT)
+        return True
+
+    def delete(self, key: Key) -> bool:
+        path: List[int] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            node, parents = self._descend(key, path)
+        with self.meter.phase(PHASE_SEARCH):
+            pos, probes = self._leaf_lower_bound(node, key)
+            occ = self._occupied_at(node, pos, key)
+        if occ < 0:
+            self.last_op = OpRecord(
+                op="delete", key=key, found=False, path=path,
+                nodes_traversed=len(path),
+            )
+            return False
+        with self.meter.phase(PHASE_COLLISION):
+            node.present[occ] = False
+            node.values[occ] = None
+            # The freed slot and gaps left of it copy the next occupied
+            # key; slot occ+1 already holds it (occupied or gap copy).
+            nxt = node.keys[occ + 1] if occ + 1 < node.capacity else _GAP_HIGH
+            i = occ
+            rewrites = 0
+            while i >= 0 and not node.present[i]:
+                node.keys[i] = nxt
+                rewrites += 1
+                i -= 1
+            self.meter.charge(SLOT_INIT, rewrites)
+        node.num_keys -= 1
+        self._size -= 1
+        smo = False
+        if node.capacity > 16 and node.density() < self.min_density / 2:
+            with self.meter.phase(PHASE_SMO):
+                self._expand(node)  # contraction: same retrain machinery
+            smo = True
+        self.last_op = OpRecord(
+            op="delete", key=key, found=True, path=path,
+            nodes_traversed=len(path), smo=smo, search_distance=probes,
+        )
+        return True
+
+    # -- scans -----------------------------------------------------------------
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        out: List[Tuple[Key, Value]] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            node, _ = self._descend(start)
+        pos, _ = self._leaf_lower_bound(node, start)
+        cur: Optional[_DataNode] = node
+        while cur is not None and len(out) < count:
+            cap = cur.capacity
+            while pos < cap and len(out) < count:
+                if cur.present[pos]:
+                    value = cur.values[pos]
+                    if self.duplicate_mode == "linked_list" and isinstance(value, _DupChain):
+                        for v in value.values:
+                            out.append((cur.keys[pos], v))
+                            self.meter.charge(SCAN_ENTRY)
+                            if len(out) >= count:
+                                break
+                    else:
+                        out.append((cur.keys[pos], value))
+                        self.meter.charge(SCAN_ENTRY)
+                else:
+                    self.meter.charge(SLOT_INIT)  # skipping a gap (bitmap word)
+                pos += 1
+            cur = cur.next
+            pos = 0
+            if cur is not None:
+                self.meter.charge(NODE_HOP)
+        return out
+
+    # -- memory -----------------------------------------------------------------
+
+    def memory_usage(self) -> MemoryBreakdown:
+        inner = 0
+        leaf = 0
+        seen = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, _InnerNode):
+                inner += _INNER_HEADER_BYTES + len(node.children) * POINTER_BYTES
+                stack.extend(node.children)
+            else:
+                # Gapped arrays: capacity slots of key+payload + bitmap.
+                leaf += (
+                    _DATA_HEADER_BYTES
+                    + node.capacity * (KEY_BYTES + PAYLOAD_BYTES)
+                    + node.capacity // 8
+                )
+        return MemoryBreakdown(inner=inner, leaf=leaf)
+
+    # -- introspection ------------------------------------------------------------
+
+    def data_nodes(self) -> List[_DataNode]:
+        out: List[_DataNode] = []
+        seen = set()
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if isinstance(node, _InnerNode):
+                stack.extend(node.children)
+            else:
+                out.append(node)
+        return out
+
+
+class _DupChain:
+    """Out-of-place value list for ALEX's linked-list duplicate mode."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: List[Value]) -> None:
+        self.values = values

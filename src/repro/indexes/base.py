@@ -1,0 +1,168 @@
+"""Common interface implemented by every index in the suite.
+
+All indexes — learned and traditional — are ordered maps from unsigned
+64-bit integer keys to opaque payloads, matching the paper's setup of
+8-byte keys paired with 8-byte payloads.  Every index:
+
+* supports ``bulk_load`` (sorted build), ``lookup``, ``insert`` and
+  ``update``; most support ``delete`` and ``range_scan`` (the paper notes
+  LIPP/Masstree/Wormhole/B+TreeOLC/HOT-ROWEX lack deletes upstream; we
+  implement deletes where the paper's authors did, i.e. for LIPP/ALEX),
+* meters its work on a :class:`~repro.core.cost.CostMeter`,
+* records an :class:`OpRecord` for its most recent operation so the
+  benchmark harness can compute Table-3 statistics and the concurrency
+  adapters can derive lock/contention traces,
+* reports an analytic :class:`MemoryBreakdown` mirroring the C++ struct
+  layouts (Python object overhead would distort Figure 8 beyond use).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cost import CostMeter
+
+Key = int
+Value = Any
+
+#: Size in bytes of one key and one payload in the modelled C++ layout.
+KEY_BYTES = 8
+PAYLOAD_BYTES = 8
+POINTER_BYTES = 8
+
+
+@dataclass
+class MemoryBreakdown:
+    """Analytic end-to-end size of an index, in bytes.
+
+    ``inner`` is the non-leaf (model / routing) layer, ``leaf`` the leaf
+    layer including key-position/key-payload slots — the paper's point is
+    that the leaf layer dominates once updates force explicit key storage.
+    """
+
+    inner: int = 0
+    leaf: int = 0
+    metadata: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.inner + self.leaf + self.metadata
+
+
+@dataclass
+class OpRecord:
+    """What the most recent operation did, structurally.
+
+    The fields mirror Table 3 of the paper plus what the concurrency
+    adapters need: the identities of nodes on the traversal path (for
+    lock-contention replay) and the work done at the leaf.
+    """
+
+    op: str = ""
+    key: Key = 0
+    found: bool = False
+    #: Serial ids of nodes visited root→leaf (inclusive).
+    path: List[int] = field(default_factory=list)
+    #: Number of nodes traversed (== len(path) unless the index skips).
+    nodes_traversed: int = 0
+    #: Keys moved to make room (ALEX/B+-tree style collision resolution).
+    keys_shifted: int = 0
+    #: New nodes allocated by this operation (LIPP chaining, splits).
+    nodes_created: int = 0
+    #: Whether a structural modification operation ran.
+    smo: bool = False
+    #: Last-mile search distance (slots probed around the prediction).
+    search_distance: int = 0
+
+
+class OrderedIndex(ABC):
+    """Abstract ordered secondary-memory-free index."""
+
+    #: Human-readable name used in reports ("ALEX", "ART", ...).
+    name: ClassVar[str] = "index"
+    #: Whether the index is a learned (model-based) index.
+    is_learned: ClassVar[bool] = False
+    supports_delete: ClassVar[bool] = True
+    supports_range: ClassVar[bool] = True
+    supports_duplicates: ClassVar[bool] = False
+
+    def __init__(self, meter: Optional[CostMeter] = None) -> None:
+        self.meter = meter if meter is not None else CostMeter()
+        self.last_op = OpRecord()
+        self._size = 0
+        self._node_serial = 0
+
+    # -- node identity -------------------------------------------------------
+
+    def _next_node_id(self) -> int:
+        """Deterministic serial id for a newly allocated node."""
+        self._node_serial += 1
+        return self._node_serial
+
+    # -- required operations ---------------------------------------------------
+
+    @abstractmethod
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        """Build the index from ``items`` sorted ascending by key.
+
+        Raises ``ValueError`` if the items are not sorted.
+        """
+
+    @abstractmethod
+    def lookup(self, key: Key) -> Optional[Value]:
+        """Return the payload for ``key`` or ``None`` if absent."""
+
+    @abstractmethod
+    def insert(self, key: Key, value: Value) -> bool:
+        """Insert ``key``.  Returns False if the key already exists
+        (for indexes without duplicate support) and leaves it unchanged."""
+
+    def update(self, key: Key, value: Value) -> bool:
+        """In-place payload update.  Default: lookup-and-overwrite via
+        insert path; subclasses override with a true in-place write."""
+        raise NotImplementedError
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``.  Returns False if absent."""
+        raise NotImplementedError(f"{self.name} does not support deletes")
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        """Return up to ``count`` pairs with key >= ``start`` ascending."""
+        raise NotImplementedError(f"{self.name} does not support range scans")
+
+    # -- introspection ---------------------------------------------------------
+
+    @abstractmethod
+    def memory_usage(self) -> MemoryBreakdown:
+        """Analytic end-to-end size (modelled C++ layout)."""
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Key) -> bool:
+        return self.lookup(key) is not None
+
+    def items(self) -> Iterable[Tuple[Key, Value]]:
+        """All pairs in key order (used by tests; may be slow)."""
+        if not self.supports_range:
+            raise NotImplementedError
+        out = self.range_scan(0, len(self))
+        return out
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def check_sorted(items: Sequence[Tuple[Key, Value]]) -> None:
+        for i in range(1, len(items)):
+            if items[i - 1][0] > items[i][0]:
+                raise ValueError("bulk_load requires items sorted by key")
+
+    @staticmethod
+    def check_sorted_unique(items: Sequence[Tuple[Key, Value]]) -> None:
+        for i in range(1, len(items)):
+            if items[i - 1][0] >= items[i][0]:
+                raise ValueError(
+                    "bulk_load requires strictly ascending unique keys"
+                )

@@ -1,0 +1,404 @@
+"""STX-style in-memory B+-tree.
+
+The traditional baseline of the study.  Cache-conscious fanout (keys per
+node sized to a few cache lines, like STX's default of 16–32 slots),
+sorted slot arrays with binary search, leaf side-links for range scans
+(the paper added side-links to B+TreeOLC for exactly this reason).
+
+Deletes rebalance by borrowing from or merging with siblings, keeping
+all nodes at least half full, so the memory report stays honest under
+the deletion workloads of Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.cost import (
+    ALLOC_NODE,
+    KEY_SHIFT,
+    NODE_HOP,
+    PHASE_COLLISION,
+    PHASE_SEARCH,
+    PHASE_SMO,
+    PHASE_TRAVERSE,
+    SCAN_ENTRY,
+    SLOT_INIT,
+)
+from repro.indexes.base import (
+    KEY_BYTES,
+    PAYLOAD_BYTES,
+    POINTER_BYTES,
+    Key,
+    MemoryBreakdown,
+    OpRecord,
+    OrderedIndex,
+    Value,
+)
+from repro.indexes.linear_model import binary_search_lower
+
+_NODE_HEADER_BYTES = 24
+
+
+class _Node:
+    __slots__ = ("node_id", "keys")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.keys: List[Key] = []
+
+
+class _Inner(_Node):
+    """Inner node: keys[i] separates children[i] (< key) and children[i+1]."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.children: List[_Node] = []
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next")
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self.values: List[Value] = []
+        self.next: Optional["_Leaf"] = None
+
+
+class BPlusTree(OrderedIndex):
+    """A classic B+-tree over 64-bit integer keys."""
+
+    name = "B+tree"
+    is_learned = False
+    supports_delete = True
+    supports_range = True
+
+    def __init__(self, fanout: int = 32, **kwargs: Any) -> None:
+        if fanout < 4:
+            raise ValueError("fanout must be >= 4")
+        super().__init__(**kwargs)
+        self.fanout = fanout
+        self._min_fill = fanout // 2
+        self._root: _Node = _Leaf(self._next_node_id())
+        self._height = 1
+
+    # -- build ----------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self.check_sorted(items)
+        fill = max(2, int(self.fanout * 0.8))
+        leaves: List[_Leaf] = []
+        for start in range(0, len(items), fill):
+            leaf = _Leaf(self._next_node_id())
+            chunk = items[start : start + fill]
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+            self.meter.charge(ALLOC_NODE)
+            self.meter.charge(SLOT_INIT, len(chunk))
+        if not leaves:
+            leaves = [_Leaf(self._next_node_id())]
+        level: List[_Node] = list(leaves)
+        # Track the minimum key of each node's subtree: inner separators
+        # must be subtree minima, not the child's own first routing key.
+        level_mins: List[Key] = [leaf.keys[0] if leaf.keys else 0 for leaf in leaves]
+        self._height = 1
+        while len(level) > 1:
+            parents: List[_Node] = []
+            parent_mins: List[Key] = []
+            for start in range(0, len(level), fill):
+                group = level[start : start + fill]
+                inner = _Inner(self._next_node_id())
+                inner.children = list(group)
+                inner.keys = level_mins[start + 1 : start + len(group)]
+                parents.append(inner)
+                parent_mins.append(level_mins[start])
+                self.meter.charge(ALLOC_NODE)
+            level = parents
+            level_mins = parent_mins
+            self._height += 1
+        self._root = level[0]
+        self._size = len(items)
+
+    # -- traversal ------------------------------------------------------------
+
+    def _descend(self, key: Key, record_path: Optional[List[int]] = None) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Inner):
+            self.meter.charge(NODE_HOP)
+            if record_path is not None:
+                record_path.append(node.node_id)
+            idx = binary_search_lower(node.keys, key, self.meter)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                idx += 1
+            node = node.children[idx]
+        self.meter.charge(NODE_HOP)
+        if record_path is not None:
+            record_path.append(node.node_id)
+        return node  # type: ignore[return-value]
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        path: List[int] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            leaf = self._descend(key, path)
+        with self.meter.phase(PHASE_SEARCH):
+            idx = binary_search_lower(leaf.keys, key, self.meter)
+        found = idx < len(leaf.keys) and leaf.keys[idx] == key
+        self.last_op = OpRecord(
+            op="lookup", key=key, found=found, path=path, nodes_traversed=len(path)
+        )
+        return leaf.values[idx] if found else None
+
+    # -- insert -----------------------------------------------------------------
+
+    def insert(self, key: Key, value: Value) -> bool:
+        path_nodes: List[_Inner] = []
+        path_ids: List[int] = []
+        node = self._root
+        with self.meter.phase(PHASE_TRAVERSE):
+            while isinstance(node, _Inner):
+                self.meter.charge(NODE_HOP)
+                path_ids.append(node.node_id)
+                idx = binary_search_lower(node.keys, key, self.meter)
+                if idx < len(node.keys) and node.keys[idx] == key:
+                    idx += 1
+                path_nodes.append(node)
+                node = node.children[idx]
+            self.meter.charge(NODE_HOP)
+            path_ids.append(node.node_id)
+        leaf: _Leaf = node  # type: ignore[assignment]
+        with self.meter.phase(PHASE_SEARCH):
+            idx = binary_search_lower(leaf.keys, key, self.meter)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            self.last_op = OpRecord(
+                op="insert", key=key, found=True, path=path_ids,
+                nodes_traversed=len(path_ids),
+            )
+            return False
+        shifted = len(leaf.keys) - idx
+        with self.meter.phase(PHASE_COLLISION):
+            leaf.keys.insert(idx, key)
+            leaf.values.insert(idx, value)
+            self.meter.charge(KEY_SHIFT, shifted)
+        created = 0
+        smo = False
+        if len(leaf.keys) > self.fanout:
+            with self.meter.phase(PHASE_SMO):
+                created = self._split(leaf, path_nodes)
+            smo = True
+        self._size += 1
+        self.last_op = OpRecord(
+            op="insert", key=key, found=False, path=path_ids,
+            nodes_traversed=len(path_ids), keys_shifted=shifted,
+            nodes_created=created, smo=smo,
+        )
+        return True
+
+    def _split(self, node: _Node, path: List[_Inner]) -> int:
+        """Split an over-full node, propagating upward.  Returns #allocs."""
+        created = 0
+        while True:
+            mid = len(node.keys) // 2
+            if isinstance(node, _Leaf):
+                right = _Leaf(self._next_node_id())
+                right.keys = node.keys[mid:]
+                right.values = node.values[mid:]
+                del node.keys[mid:]
+                del node.values[mid:]
+                right.next = node.next
+                node.next = right
+                sep = right.keys[0]
+            else:
+                inner: _Inner = node  # type: ignore[assignment]
+                right = _Inner(self._next_node_id())
+                sep = inner.keys[mid]
+                right.keys = inner.keys[mid + 1 :]
+                right.children = inner.children[mid + 1 :]
+                del inner.keys[mid:]
+                del inner.children[mid + 1 :]
+            created += 1
+            self.meter.charge(ALLOC_NODE)
+            self.meter.charge(KEY_SHIFT, len(right.keys))
+            if not path:
+                new_root = _Inner(self._next_node_id())
+                new_root.keys = [sep]
+                new_root.children = [node, right]
+                self._root = new_root
+                self._height += 1
+                created += 1
+                self.meter.charge(ALLOC_NODE)
+                return created
+            parent = path.pop()
+            idx = binary_search_lower(parent.keys, sep, self.meter)
+            parent.keys.insert(idx, sep)
+            parent.children.insert(idx + 1, right)
+            self.meter.charge(KEY_SHIFT, len(parent.keys) - idx)
+            if len(parent.children) <= self.fanout:
+                return created
+            node = parent
+
+    def update(self, key: Key, value: Value) -> bool:
+        with self.meter.phase(PHASE_TRAVERSE):
+            leaf = self._descend(key)
+        with self.meter.phase(PHASE_SEARCH):
+            idx = binary_search_lower(leaf.keys, key, self.meter)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            leaf.values[idx] = value
+            self.meter.charge(KEY_SHIFT)
+            return True
+        return False
+
+    # -- delete ------------------------------------------------------------------
+
+    def delete(self, key: Key) -> bool:
+        removed, _ = self._delete_rec(self._root, key, [])
+        if removed:
+            self._size -= 1
+            # Collapse a root with a single child.
+            while isinstance(self._root, _Inner) and len(self._root.children) == 1:
+                self._root = self._root.children[0]
+                self._height -= 1
+        return removed
+
+    def _delete_rec(self, node: _Node, key: Key, path_ids: List[int]) -> Tuple[bool, bool]:
+        """Returns (removed, child_underflowed)."""
+        self.meter.charge(NODE_HOP)
+        path_ids.append(node.node_id)
+        if isinstance(node, _Leaf):
+            idx = binary_search_lower(node.keys, key, self.meter)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                self.last_op = OpRecord(
+                    op="delete", key=key, found=False, path=path_ids,
+                    nodes_traversed=len(path_ids),
+                )
+                return False, False
+            shifted = len(node.keys) - idx - 1
+            del node.keys[idx]
+            del node.values[idx]
+            self.meter.charge(KEY_SHIFT, shifted)
+            self.last_op = OpRecord(
+                op="delete", key=key, found=True, path=path_ids,
+                nodes_traversed=len(path_ids), keys_shifted=shifted,
+            )
+            return True, len(node.keys) < self._min_fill
+        inner: _Inner = node  # type: ignore[assignment]
+        idx = binary_search_lower(inner.keys, key, self.meter)
+        if idx < len(inner.keys) and inner.keys[idx] == key:
+            idx += 1
+        removed, underflow = self._delete_rec(inner.children[idx], key, path_ids)
+        if not removed or not underflow:
+            return removed, False
+        with self.meter.phase(PHASE_SMO):
+            self._rebalance(inner, idx)
+        if removed and self.last_op.op == "delete":
+            self.last_op.smo = True
+        return True, len(inner.children) < max(2, self._min_fill)
+
+    def _rebalance(self, parent: _Inner, idx: int) -> None:
+        child = parent.children[idx]
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+
+        def fill(n: Optional[_Node]) -> int:
+            return len(n.keys) if n is not None else -1
+
+        if left is not None and fill(left) > self._min_fill:
+            self._borrow(parent, idx - 1, from_left=True)
+        elif right is not None and fill(right) > self._min_fill:
+            self._borrow(parent, idx, from_left=False)
+        elif left is not None:
+            self._merge(parent, idx - 1)
+        elif right is not None:
+            self._merge(parent, idx)
+
+    def _borrow(self, parent: _Inner, left_idx: int, from_left: bool) -> None:
+        left = parent.children[left_idx]
+        right = parent.children[left_idx + 1]
+        self.meter.charge(KEY_SHIFT, 2)
+        if isinstance(left, _Leaf) and isinstance(right, _Leaf):
+            if from_left:
+                right.keys.insert(0, left.keys.pop())
+                right.values.insert(0, left.values.pop())
+            else:
+                left.keys.append(right.keys.pop(0))
+                left.values.append(right.values.pop(0))
+            parent.keys[left_idx] = right.keys[0]
+        else:
+            li: _Inner = left  # type: ignore[assignment]
+            ri: _Inner = right  # type: ignore[assignment]
+            if from_left:
+                ri.keys.insert(0, parent.keys[left_idx])
+                parent.keys[left_idx] = li.keys.pop()
+                ri.children.insert(0, li.children.pop())
+            else:
+                li.keys.append(parent.keys[left_idx])
+                parent.keys[left_idx] = ri.keys.pop(0)
+                li.children.append(ri.children.pop(0))
+
+    def _merge(self, parent: _Inner, left_idx: int) -> None:
+        left = parent.children[left_idx]
+        right = parent.children[left_idx + 1]
+        self.meter.charge(KEY_SHIFT, len(right.keys))
+        if isinstance(left, _Leaf) and isinstance(right, _Leaf):
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            li: _Inner = left  # type: ignore[assignment]
+            ri: _Inner = right  # type: ignore[assignment]
+            li.keys.append(parent.keys[left_idx])
+            li.keys.extend(ri.keys)
+            li.children.extend(ri.children)
+        del parent.keys[left_idx]
+        del parent.children[left_idx + 1]
+
+    # -- scans ----------------------------------------------------------------
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        out: List[Tuple[Key, Value]] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            leaf: Optional[_Leaf] = self._descend(start)
+        idx = binary_search_lower(leaf.keys, start, self.meter)
+        while leaf is not None and len(out) < count:
+            while idx < len(leaf.keys) and len(out) < count:
+                out.append((leaf.keys[idx], leaf.values[idx]))
+                self.meter.charge(SCAN_ENTRY)
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+            if leaf is not None:
+                self.meter.charge(NODE_HOP)
+        return out
+
+    # -- memory ----------------------------------------------------------------
+
+    def memory_usage(self) -> MemoryBreakdown:
+        inner_bytes = 0
+        leaf_bytes = 0
+        stack: List[_Node] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Inner):
+                cap = max(len(node.children), 1)
+                inner_bytes += (
+                    _NODE_HEADER_BYTES
+                    + cap * POINTER_BYTES
+                    + max(cap - 1, 0) * KEY_BYTES
+                )
+                stack.extend(node.children)
+            else:
+                # STX leaves allocate full capacity arrays.
+                leaf_bytes += (
+                    _NODE_HEADER_BYTES
+                    + POINTER_BYTES  # side link
+                    + self.fanout * (KEY_BYTES + PAYLOAD_BYTES)
+                )
+        return MemoryBreakdown(inner=inner_bytes, leaf=leaf_bytes)
+
+    @property
+    def height(self) -> int:
+        return self._height

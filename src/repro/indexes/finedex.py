@@ -1,0 +1,278 @@
+"""FINEdex (Li et al., VLDB 2021) — fine-grained delta learned index.
+
+Like XIndex, FINEdex is error-driven (ε = 32) and delta-merge based,
+but its delta granularity is one *bin per record* instead of one delta
+per group: an inserted key lands in the tiny sorted bin hanging off its
+left neighbour in the trained array.  This minimises conflicts between
+concurrent writers (each bin is an independent synchronisation unit —
+modelled by the concurrency adapter) and allows *local* retraining:
+when a bin overflows, only the owning model segment is flattened and
+refitted, never the whole structure.
+
+Structure here: a list of :class:`_FineSegment`, each owning a slice of
+the key space with its model, packed arrays, and per-record bins; a
+plain sorted pivot array routes to segments (upstream uses a small
+learned root; the routing cost is metered equivalently).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost import (
+    ALLOC_NODE,
+    charge_binary_search,
+    KEY_COMPARE,
+    KEY_SHIFT,
+    MODEL_EVAL,
+    NODE_HOP,
+    PHASE_COLLISION,
+    PHASE_SEARCH,
+    PHASE_SMO,
+    PHASE_TRAVERSE,
+    SCAN_ENTRY,
+    TRAIN_KEY,
+)
+from repro.core.hardness import optimal_pla
+from repro.indexes.base import (
+    KEY_BYTES,
+    PAYLOAD_BYTES,
+    POINTER_BYTES,
+    Key,
+    MemoryBreakdown,
+    OpRecord,
+    OrderedIndex,
+    Value,
+)
+from repro.indexes.linear_model import LinearModel
+
+_SEGMENT_HEADER_BYTES = 48
+_BIN_ENTRY_BYTES = KEY_BYTES + PAYLOAD_BYTES
+_BIN_HEADER_BYTES = 16
+
+
+class _FineSegment:
+    __slots__ = ("node_id", "first_key", "keys", "values", "model", "bins", "bin_entries")
+
+    def __init__(self, node_id: int, first_key: Key) -> None:
+        self.node_id = node_id
+        self.first_key = first_key
+        self.keys: List[Key] = []
+        self.values: List[Value] = []
+        self.model = LinearModel()
+        #: position -> sorted [(key, value)] of inserts landing after
+        #: keys[position] (position -1 collects keys below keys[0]).
+        self.bins: Dict[int, List[Tuple[Key, Value]]] = {}
+        self.bin_entries = 0
+
+
+class FINEdex(OrderedIndex):
+    """FINEdex with the paper's ε = 32 configuration."""
+
+    name = "FINEdex"
+    is_learned = True
+    supports_delete = False
+    supports_range = True
+
+    def __init__(self, epsilon: int = 32, bin_capacity: int = 16, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.epsilon = epsilon
+        self.bin_capacity = bin_capacity
+        self._segments: List[_FineSegment] = [_FineSegment(self._next_node_id(), 0)]
+        self.retrain_count = 0
+
+    # -- build --------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self.check_sorted(items)
+        self._segments = self._build_segments(list(items))
+        # The first segment is the catch-all for keys below every pivot.
+        self._segments[0].first_key = 0
+        self._size = len(items)
+
+    def _build_segments(self, items: List[Tuple[Key, Value]]) -> List[_FineSegment]:
+        if not items:
+            return [_FineSegment(self._next_node_id(), 0)]
+        keys = [k for k, _ in items]
+        plas = optimal_pla(keys, self.epsilon)
+        self.meter.charge(TRAIN_KEY, len(keys))
+        segments: List[_FineSegment] = []
+        for pla in plas:
+            seg = _FineSegment(self._next_node_id(), pla.first_key)
+            lo, hi = pla.first_index, pla.first_index + pla.length
+            seg.keys = keys[lo:hi]
+            seg.values = [v for _, v in items[lo:hi]]
+            # Rebase the model to segment-local positions.
+            seg.model = LinearModel(pla.model.slope, pla.model.intercept - lo, pla.model.anchor)
+            segments.append(seg)
+            self.meter.charge(ALLOC_NODE)
+        return segments
+
+    # -- routing ------------------------------------------------------------------
+
+    def _find_segment(self, key: Key) -> Tuple[int, _FineSegment]:
+        # Upstream FINEdex routes through its level-model root: one
+        # pointer chase into the root structure plus the model walk.
+        self.meter.charge(NODE_HOP)
+        self.meter.charge(MODEL_EVAL)
+        pivots = [s.first_key for s in self._segments]
+        i = bisect.bisect_right(pivots, key) - 1
+        self.meter.charge(KEY_COMPARE, max(1, len(pivots).bit_length()))
+        i = max(i, 0)
+        return i, self._segments[i]
+
+    def _segment_lower_bound(self, seg: _FineSegment, key: Key) -> int:
+        n = len(seg.keys)
+        if n == 0:
+            return 0
+        self.meter.charge(MODEL_EVAL)
+        pred = int(seg.model.predict(key))
+        hi = max(min(pred + self.epsilon + 2, n), 0)
+        lo = min(max(pred - self.epsilon - 1, 0), hi)
+        probes = 0
+        while lo < hi:
+            probes += 1
+            mid = (lo + hi) // 2
+            if seg.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        charge_binary_search(self.meter, probes)
+        return lo
+
+    # -- operations ---------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        with self.meter.phase(PHASE_TRAVERSE):
+            _, seg = self._find_segment(key)
+            self.meter.charge(NODE_HOP)
+        with self.meter.phase(PHASE_SEARCH):
+            i = self._segment_lower_bound(seg, key)
+            if i < len(seg.keys) and seg.keys[i] == key:
+                self.last_op = OpRecord(op="lookup", key=key, found=True,
+                                        path=[seg.node_id], nodes_traversed=2)
+                return seg.values[i]
+            # Check the bin of the left neighbour.
+            self.meter.charge(NODE_HOP)
+            bin_ = seg.bins.get(i - 1)
+            if bin_:
+                j = bisect.bisect_left(bin_, (key,))
+                self.meter.charge(KEY_COMPARE, max(1, len(bin_).bit_length()))
+                if j < len(bin_) and bin_[j][0] == key:
+                    self.last_op = OpRecord(op="lookup", key=key, found=True,
+                                            path=[seg.node_id], nodes_traversed=2)
+                    return bin_[j][1]
+        self.last_op = OpRecord(op="lookup", key=key, found=False,
+                                path=[seg.node_id], nodes_traversed=2)
+        return None
+
+    def insert(self, key: Key, value: Value) -> bool:
+        with self.meter.phase(PHASE_TRAVERSE):
+            si, seg = self._find_segment(key)
+            self.meter.charge(NODE_HOP)
+        with self.meter.phase(PHASE_SEARCH):
+            i = self._segment_lower_bound(seg, key)
+            if i < len(seg.keys) and seg.keys[i] == key:
+                self.last_op = OpRecord(op="insert", key=key, found=True,
+                                        path=[seg.node_id], nodes_traversed=2)
+                return False
+        # The per-record bin is its own heap allocation: a pointer chase.
+        self.meter.charge(NODE_HOP)
+        bin_ = seg.bins.setdefault(i - 1, [])
+        j = bisect.bisect_left(bin_, (key,))
+        if j < len(bin_) and bin_[j][0] == key:
+            self.last_op = OpRecord(op="insert", key=key, found=True,
+                                    path=[seg.node_id], nodes_traversed=2)
+            return False
+        with self.meter.phase(PHASE_COLLISION):
+            bin_.insert(j, (key, value))
+            seg.bin_entries += 1
+            self.meter.charge(KEY_SHIFT, len(bin_) - j)
+        smo = False
+        created = 0
+        if len(bin_) > self.bin_capacity:
+            with self.meter.phase(PHASE_SMO):
+                created = self._retrain_segment(si)
+            smo = True
+        self._size += 1
+        self.last_op = OpRecord(
+            op="insert", key=key, path=[seg.node_id], nodes_traversed=2,
+            keys_shifted=len(bin_) - j if not smo else 0, smo=smo,
+            nodes_created=created,
+        )
+        return True
+
+    def _retrain_segment(self, si: int) -> int:
+        """Flatten one segment's bins and refit locally (may split)."""
+        self.retrain_count += 1
+        seg = self._segments[si]
+        items = list(self._iter_segment(seg))
+        self.meter.charge(KEY_SHIFT, len(items))
+        new_segments = self._build_segments(items)
+        # Preserve the routing pivot so keys between the old pivot and the
+        # first retrained key keep resolving to the same place.
+        new_segments[0].first_key = seg.first_key
+        self._segments[si : si + 1] = new_segments
+        return len(new_segments)
+
+    @staticmethod
+    def _iter_segment(seg: _FineSegment):
+        for b in seg.bins.get(-1, []):
+            yield b
+        for i in range(len(seg.keys)):
+            yield (seg.keys[i], seg.values[i])
+            for b in seg.bins.get(i, []):
+                yield b
+
+    def update(self, key: Key, value: Value) -> bool:
+        _, seg = self._find_segment(key)
+        i = self._segment_lower_bound(seg, key)
+        if i < len(seg.keys) and seg.keys[i] == key:
+            seg.values[i] = value
+            self.meter.charge(KEY_SHIFT)
+            return True
+        bin_ = seg.bins.get(i - 1)
+        if bin_:
+            j = bisect.bisect_left(bin_, (key,))
+            if j < len(bin_) and bin_[j][0] == key:
+                bin_[j] = (key, value)
+                self.meter.charge(KEY_SHIFT)
+                return True
+        return False
+
+    # -- scans -----------------------------------------------------------------
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        out: List[Tuple[Key, Value]] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            si, _ = self._find_segment(start)
+        for s in range(si, len(self._segments)):
+            seg = self._segments[s]
+            for k, v in self._iter_segment(seg):
+                if k < start:
+                    continue
+                out.append((k, v))
+                self.meter.charge(SCAN_ENTRY)
+                if len(out) >= count:
+                    return out
+            if s + 1 < len(self._segments):
+                self.meter.charge(NODE_HOP)
+        return out
+
+    # -- memory -----------------------------------------------------------------
+
+    def memory_usage(self) -> MemoryBreakdown:
+        inner = len(self._segments) * (KEY_BYTES + POINTER_BYTES)
+        leaf = 0
+        for seg in self._segments:
+            leaf += _SEGMENT_HEADER_BYTES
+            leaf += len(seg.keys) * (KEY_BYTES + PAYLOAD_BYTES + POINTER_BYTES)
+            for bin_ in seg.bins.values():
+                leaf += _BIN_HEADER_BYTES + len(bin_) * _BIN_ENTRY_BYTES
+        return MemoryBreakdown(inner=inner, leaf=leaf)
+
+    # -- introspection ------------------------------------------------------------
+
+    def segment_count(self) -> int:
+        return len(self._segments)

@@ -1,0 +1,290 @@
+"""FITing-Tree (Galakatos et al., SIGMOD 2019).
+
+The paper *describes* FITing-Tree (error-driven segmentation + per-
+segment insert buffers, Section 2) but excludes it from the evaluation
+because no open-source implementation exists.  This reproduction builds
+it from the paper's description so the comparison the authors could not
+run becomes possible:
+
+* leaves are ε-bounded linear segments over a sorted array (we use the
+  same optimal PLA machinery as PGM; FITing-Tree's greedy shrinking-
+  cone segmentation yields within-2x the same segments),
+* each segment owns a fixed-size *insert buffer*; lookups check the
+  segment (model ± ε) then the buffer,
+* a full buffer triggers a merge-and-resegment of that leaf only
+  ("delta-merge" granularity between XIndex's per-group and FINEdex's
+  per-record),
+* segments are routed by a B+-tree over their first keys, as in the
+  original design.
+
+Not part of the paper's figures; exercised by the test suite and
+available to the CLI/benchmarks for what-if comparisons.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.cost import (
+    ALLOC_NODE,
+    KEY_COMPARE,
+    KEY_SHIFT,
+    MODEL_EVAL,
+    NODE_HOP,
+    PHASE_COLLISION,
+    PHASE_SEARCH,
+    PHASE_SMO,
+    PHASE_TRAVERSE,
+    SCAN_ENTRY,
+    TRAIN_KEY,
+    charge_binary_search,
+)
+from repro.core.hardness import optimal_pla
+from repro.indexes.base import (
+    KEY_BYTES,
+    PAYLOAD_BYTES,
+    POINTER_BYTES,
+    Key,
+    MemoryBreakdown,
+    OpRecord,
+    OrderedIndex,
+    Value,
+)
+from repro.indexes.btree import BPlusTree
+from repro.indexes.linear_model import LinearModel
+
+_SEGMENT_HEADER_BYTES = 56
+
+
+class _FitSegment:
+    __slots__ = ("node_id", "first_key", "keys", "values", "model",
+                 "buf_keys", "buf_values")
+
+    def __init__(self, node_id: int, first_key: Key) -> None:
+        self.node_id = node_id
+        self.first_key = first_key
+        self.keys: List[Key] = []
+        self.values: List[Value] = []
+        self.model = LinearModel()
+        self.buf_keys: List[Key] = []
+        self.buf_values: List[Value] = []
+
+
+class FITingTree(OrderedIndex):
+    """FITing-Tree with ε = 32 (matching the paper's error-driven peers)."""
+
+    name = "FITing-Tree"
+    is_learned = True
+    supports_delete = False  # as scoped by the original paper's evaluation
+    supports_range = True
+
+    def __init__(self, epsilon: int = 32, buffer_size: int = 32, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be >= 1")
+        self.epsilon = epsilon
+        self.buffer_size = buffer_size
+        self._segments: List[_FitSegment] = [_FitSegment(self._next_node_id(), 0)]
+        #: Inner routing structure: a B+-tree over segment first keys.
+        self._router = BPlusTree(fanout=32, meter=self.meter)
+        self._router.bulk_load([(0, 0)])
+        self.merge_count = 0
+
+    # -- build --------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self.check_sorted(items)
+        self._segments = self._segment_items(list(items))
+        self._segments[0].first_key = 0
+        self._rebuild_router()
+        self._size = len(items)
+
+    def _segment_items(self, items: List[Tuple[Key, Value]]) -> List[_FitSegment]:
+        if not items:
+            return [_FitSegment(self._next_node_id(), 0)]
+        keys = [k for k, _ in items]
+        plas = optimal_pla(keys, self.epsilon)
+        self.meter.charge(TRAIN_KEY, len(keys))
+        out: List[_FitSegment] = []
+        for pla in plas:
+            seg = _FitSegment(self._next_node_id(), pla.first_key)
+            lo, hi = pla.first_index, pla.first_index + pla.length
+            seg.keys = keys[lo:hi]
+            seg.values = [v for _, v in items[lo:hi]]
+            seg.model = LinearModel(pla.model.slope, pla.model.intercept - lo,
+                                    pla.model.anchor)
+            out.append(seg)
+            self.meter.charge(ALLOC_NODE)
+        return out
+
+    def _rebuild_router(self) -> None:
+        self._router = BPlusTree(fanout=32, meter=self.meter)
+        self._router.bulk_load(
+            [(seg.first_key, i) for i, seg in enumerate(self._segments)]
+        )
+
+    # -- routing ------------------------------------------------------------------
+
+    def _find_segment(self, key: Key) -> Tuple[int, _FitSegment]:
+        # B+-tree routing: find the last segment pivot <= key.
+        pivots = [s.first_key for s in self._segments]
+        self.meter.charge(NODE_HOP, max(1, self._router.height - 1))
+        i = bisect.bisect_right(pivots, key) - 1
+        self.meter.charge(KEY_COMPARE, max(1, len(pivots).bit_length()))
+        i = max(i, 0)
+        return i, self._segments[i]
+
+    def _segment_lower_bound(self, seg: _FitSegment, key: Key) -> int:
+        n = len(seg.keys)
+        if n == 0:
+            return 0
+        self.meter.charge(MODEL_EVAL)
+        pred = int(seg.model.predict(key))
+        hi = max(min(pred + self.epsilon + 2, n), 0)
+        lo = min(max(pred - self.epsilon - 1, 0), hi)
+        probes = 0
+        while lo < hi:
+            probes += 1
+            mid = (lo + hi) // 2
+            if seg.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        charge_binary_search(self.meter, probes)
+        return lo
+
+    # -- operations ---------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        with self.meter.phase(PHASE_TRAVERSE):
+            _, seg = self._find_segment(key)
+            self.meter.charge(NODE_HOP)
+        with self.meter.phase(PHASE_SEARCH):
+            i = self._segment_lower_bound(seg, key)
+            if i < len(seg.keys) and seg.keys[i] == key:
+                self.last_op = OpRecord(op="lookup", key=key, found=True,
+                                        path=[seg.node_id], nodes_traversed=2)
+                return seg.values[i]
+            self.meter.charge(NODE_HOP)  # buffer is a separate allocation
+            j = bisect.bisect_left(seg.buf_keys, key)
+            self.meter.charge(KEY_COMPARE, max(1, len(seg.buf_keys).bit_length()))
+            if j < len(seg.buf_keys) and seg.buf_keys[j] == key:
+                self.last_op = OpRecord(op="lookup", key=key, found=True,
+                                        path=[seg.node_id], nodes_traversed=2)
+                return seg.buf_values[j]
+        self.last_op = OpRecord(op="lookup", key=key, found=False,
+                                path=[seg.node_id], nodes_traversed=2)
+        return None
+
+    def insert(self, key: Key, value: Value) -> bool:
+        with self.meter.phase(PHASE_TRAVERSE):
+            si, seg = self._find_segment(key)
+            self.meter.charge(NODE_HOP)
+        with self.meter.phase(PHASE_SEARCH):
+            i = self._segment_lower_bound(seg, key)
+            if i < len(seg.keys) and seg.keys[i] == key:
+                self.last_op = OpRecord(op="insert", key=key, found=True,
+                                        path=[seg.node_id], nodes_traversed=2)
+                return False
+            j = bisect.bisect_left(seg.buf_keys, key)
+            if j < len(seg.buf_keys) and seg.buf_keys[j] == key:
+                self.last_op = OpRecord(op="insert", key=key, found=True,
+                                        path=[seg.node_id], nodes_traversed=2)
+                return False
+        shifted = len(seg.buf_keys) - j
+        with self.meter.phase(PHASE_COLLISION):
+            seg.buf_keys.insert(j, key)
+            seg.buf_values.insert(j, value)
+            self.meter.charge(KEY_SHIFT, shifted)
+        smo = False
+        created = 0
+        if len(seg.buf_keys) > self.buffer_size:
+            with self.meter.phase(PHASE_SMO):
+                created = self._merge_segment(si)
+            smo = True
+        self._size += 1
+        self.last_op = OpRecord(
+            op="insert", key=key, path=[seg.node_id], nodes_traversed=2,
+            keys_shifted=shifted, smo=smo, nodes_created=created,
+        )
+        return True
+
+    def _merge_segment(self, si: int) -> int:
+        """Merge a full buffer into its segment and re-segment locally."""
+        self.merge_count += 1
+        seg = self._segments[si]
+        merged: List[Tuple[Key, Value]] = []
+        a = b = 0
+        while a < len(seg.keys) and b < len(seg.buf_keys):
+            if seg.keys[a] <= seg.buf_keys[b]:
+                merged.append((seg.keys[a], seg.values[a]))
+                a += 1
+            else:
+                merged.append((seg.buf_keys[b], seg.buf_values[b]))
+                b += 1
+        merged.extend(zip(seg.keys[a:], seg.values[a:]))
+        merged.extend(zip(seg.buf_keys[b:], seg.buf_values[b:]))
+        self.meter.charge(KEY_SHIFT, len(merged))
+        new_segments = self._segment_items(merged)
+        new_segments[0].first_key = seg.first_key
+        self._segments[si : si + 1] = new_segments
+        # Router update: re-bulk (routing keys changed).
+        self.meter.charge(KEY_SHIFT, len(self._segments) - si)
+        self._rebuild_router()
+        return len(new_segments)
+
+    def update(self, key: Key, value: Value) -> bool:
+        _, seg = self._find_segment(key)
+        i = self._segment_lower_bound(seg, key)
+        if i < len(seg.keys) and seg.keys[i] == key:
+            seg.values[i] = value
+            self.meter.charge(KEY_SHIFT)
+            return True
+        j = bisect.bisect_left(seg.buf_keys, key)
+        if j < len(seg.buf_keys) and seg.buf_keys[j] == key:
+            seg.buf_values[j] = value
+            self.meter.charge(KEY_SHIFT)
+            return True
+        return False
+
+    # -- scans -----------------------------------------------------------------
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        out: List[Tuple[Key, Value]] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            si, _ = self._find_segment(start)
+        for s in range(si, len(self._segments)):
+            seg = self._segments[s]
+            i = self._segment_lower_bound(seg, start) if s == si else 0
+            j = bisect.bisect_left(seg.buf_keys, start) if s == si else 0
+            while len(out) < count and (i < len(seg.keys) or j < len(seg.buf_keys)):
+                take_main = j >= len(seg.buf_keys) or (
+                    i < len(seg.keys) and seg.keys[i] <= seg.buf_keys[j]
+                )
+                if take_main:
+                    out.append((seg.keys[i], seg.values[i]))
+                    i += 1
+                else:
+                    out.append((seg.buf_keys[j], seg.buf_values[j]))
+                    j += 1
+                self.meter.charge(SCAN_ENTRY)
+            if len(out) >= count:
+                break
+            if s + 1 < len(self._segments):
+                self.meter.charge(NODE_HOP)
+        return out
+
+    # -- memory -----------------------------------------------------------------
+
+    def memory_usage(self) -> MemoryBreakdown:
+        inner = self._router.memory_usage().total
+        leaf = 0
+        for seg in self._segments:
+            leaf += _SEGMENT_HEADER_BYTES
+            leaf += len(seg.keys) * (KEY_BYTES + PAYLOAD_BYTES)
+            leaf += self.buffer_size * (KEY_BYTES + PAYLOAD_BYTES)  # buffer arena
+        return MemoryBreakdown(inner=inner, leaf=leaf)
+
+    def segment_count(self) -> int:
+        return len(self._segments)

@@ -1,0 +1,228 @@
+"""Linear models and model-based search shared by the learned indexes.
+
+Every learned index in the study is, at heart, a tree of linear models
+``position ≈ slope * key + intercept``.  This module provides:
+
+* :class:`LinearModel` — train/predict over (key, position) pairs,
+* :func:`fmcd_model` — LIPP's collision-minimizing model construction,
+* :func:`exponential_search` / :func:`biased_search` — last-mile search
+  primitives with cost metering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+try:  # numpy accelerates large fits; everything works without it
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.core.cost import (
+    KEY_COMPARE,
+    CostMeter,
+    charge_binary_search,
+    charge_local_search,
+)
+
+#: Fits over fewer keys than this stay in pure Python (array setup
+#: overhead dominates below it).
+_NUMPY_MIN_N = 256
+
+
+@dataclass
+class LinearModel:
+    """``pos = slope * (key - anchor) + intercept``.
+
+    The integer ``anchor`` is subtracted *before* the float multiply:
+    raw 64-bit keys have a float64 ulp of ~16, which would make nearby
+    keys indistinguishable (and did, before this existed — LIPP's FMCD
+    placement livelocked on dense clusters of huge keys).  Anchoring at
+    the trained keys' base keeps the multiply in exact-float territory.
+    """
+
+    slope: float = 0.0
+    intercept: float = 0.0
+    anchor: int = 0
+
+    def predict(self, key: int) -> float:
+        return self.slope * (key - self.anchor) + self.intercept
+
+    def predict_clamped(self, key: int, n: int) -> int:
+        """Predicted slot in ``[0, n-1]``."""
+        if n <= 0:
+            return 0
+        p = int(self.slope * (key - self.anchor) + self.intercept)
+        if p < 0:
+            return 0
+        if p >= n:
+            return n - 1
+        return p
+
+    def inverse(self, position: float) -> int:
+        """Smallest key mapping to at least ``position`` (approximate)."""
+        if self.slope <= 0:
+            return self.anchor
+        import math
+
+        return self.anchor + int(math.ceil((position - self.intercept) / self.slope))
+
+    def scaled(self, factor: float) -> "LinearModel":
+        """The same mapping stretched to a ``factor``× larger range."""
+        return LinearModel(self.slope * factor, self.intercept * factor, self.anchor)
+
+    @staticmethod
+    def train(keys: Sequence[int], positions: Optional[Sequence[float]] = None) -> "LinearModel":
+        """Least-squares fit of positions (default ``0..n-1``) on keys.
+
+        Uses a numerically stable centered formulation anchored at the
+        first key: 64-bit keys would overflow float64 precision otherwise.
+        """
+        n = len(keys)
+        if n == 0:
+            return LinearModel()
+        if positions is None:
+            positions = range(n)
+        if n == 1:
+            return LinearModel(0.0, float(positions[0]), keys[0])
+        base = keys[0]
+        if _np is not None and n >= _NUMPY_MIN_N and keys[-1] - base < 2**52:
+            # Vectorized fast path: shifted keys fit float64 exactly.
+            ks = _np.asarray([k - base for k in keys], dtype=_np.float64)
+            ps = _np.asarray(positions, dtype=_np.float64)
+            mean_k = float(ks.mean())
+            mean_p = float(ps.mean())
+            dk = ks - mean_k
+            den = float(dk @ dk)
+            if den == 0.0:
+                return LinearModel(0.0, mean_p, base)
+            slope = float(dk @ (ps - mean_p)) / den
+            return LinearModel(slope, mean_p - slope * mean_k, base)
+        shifted = [k - base for k in keys]
+        mean_k = sum(shifted) / n
+        mean_p = sum(positions) / n
+        num = 0.0
+        den = 0.0
+        for k, p in zip(shifted, positions):
+            dk = k - mean_k
+            num += dk * (p - mean_p)
+            den += dk * dk
+        if den == 0.0:
+            return LinearModel(0.0, mean_p, base)
+        slope = num / den
+        return LinearModel(slope, mean_p - slope * mean_k, base)
+
+    @staticmethod
+    def endpoints(lo_key: int, hi_key: int, n: int) -> "LinearModel":
+        """Model mapping ``[lo_key, hi_key]`` linearly onto ``[0, n)``.
+
+        This is the two-point fit ALEX/LIPP use when building inner nodes
+        from key-range boundaries.
+        """
+        if hi_key <= lo_key:
+            return LinearModel(0.0, 0.0, lo_key)
+        slope = (n - 1) / (hi_key - lo_key) if n > 1 else 0.0
+        return LinearModel(slope, 0.0, lo_key)
+
+
+def fmcd_model(keys: Sequence[int], n_slots: int) -> LinearModel:
+    """LIPP's FMCD ("fastest minimum conflict degree") model heuristic.
+
+    Finds a linear mapping of ``keys`` onto ``n_slots`` slots that keeps
+    conflicts low by fitting through two interior quantile keys, which is
+    what LIPP's reference implementation converges to in practice.  Falls
+    back to an endpoint fit for tiny inputs.
+    """
+    m = len(keys)
+    if m < 2 or n_slots < 2:
+        return LinearModel.endpoints(keys[0] if keys else 0, keys[-1] if keys else 1, n_slots)
+    # Fit through ~10th and ~90th percentile keys to resist outliers.
+    i = max(0, m // 10)
+    j = min(m - 1, m - 1 - m // 10)
+    if j <= i:
+        i, j = 0, m - 1
+    ki, kj = keys[i], keys[j]
+    if kj == ki:
+        return LinearModel.endpoints(keys[0], keys[-1] + 1, n_slots)
+    # Map rank i -> slot proportional position, rank j likewise; anchor
+    # at ki so prediction stays exact for tightly clustered huge keys.
+    target_i = (i + 0.5) / m * n_slots
+    target_j = (j + 0.5) / m * n_slots
+    slope = (target_j - target_i) / (kj - ki)
+    return LinearModel(slope, target_i, ki)
+
+
+def exponential_search(
+    keys: Sequence[int],
+    key: int,
+    hint: int,
+    meter: Optional[CostMeter] = None,
+) -> Tuple[int, int]:
+    """ALEX-style exponential search around a predicted position.
+
+    ``keys`` must be sorted.  Returns ``(lower_bound_index, probes)``
+    where ``lower_bound_index`` is the first index with
+    ``keys[idx] >= key`` (may equal ``len(keys)``).
+    """
+    n = len(keys)
+    if n == 0:
+        return 0, 0
+    if hint < 0:
+        hint = 0
+    elif hint >= n:
+        hint = n - 1
+    probes = 1
+    if keys[hint] >= key:
+        # Grow bound leftwards.
+        bound = 1
+        lo = hint - bound
+        while lo >= 0 and keys[lo] >= key:
+            probes += 1
+            bound <<= 1
+            lo = hint - bound
+        lo = max(lo, 0)
+        hi = hint
+        if keys[hi] == key:
+            hi += 0
+    else:
+        # Grow bound rightwards.
+        bound = 1
+        hi = hint + bound
+        while hi < n and keys[hi] < key:
+            probes += 1
+            bound <<= 1
+            hi = hint + bound
+        hi = min(hi, n)
+        lo = hint
+    # Binary search within [lo, hi].
+    while lo < hi:
+        probes += 1
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    if meter is not None:
+        charge_local_search(meter, probes, lo - hint)
+    return lo, probes
+
+
+def binary_search_lower(
+    keys: Sequence[int],
+    key: int,
+    meter: Optional[CostMeter] = None,
+) -> int:
+    """Plain lower-bound binary search with metering."""
+    lo, hi = 0, len(keys)
+    probes = 0
+    while lo < hi:
+        probes += 1
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    if meter is not None:
+        charge_binary_search(meter, probes)
+    return lo

@@ -1,0 +1,317 @@
+"""Masstree (Mao, Kohler, Morris — EuroSys 2012), single-layer variant.
+
+Masstree is a trie of B+-trees where each layer indexes an 8-byte key
+slice.  The study's keys are exactly 8-byte integers, so the structure
+degenerates to a single B+-tree layer — what matters for the paper's
+results is Masstree's *node discipline*, which we reproduce:
+
+* fanout-15 interior and border (leaf) nodes (one cache-line-friendly
+  permutation word governs up to 15 slots),
+* border nodes keep keys **unsorted**, appended in arrival order, with
+  a permutation array giving logical order — an insert appends and
+  rewrites the permutation word instead of shifting keys,
+* border nodes are chained for range scans,
+* upstream Masstree implements no structural delete (the paper excludes
+  it from the deletion study).
+
+The extra indirection through the permutation is charged on every
+search; the permutation rewrite (a full 8-byte word) is the write the
+concurrent adapter turns into cache-line traffic — together with the
+version-number protocol it is what "crumbles" under NUMA in Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.cost import (
+    ALLOC_NODE,
+    charge_binary_search,
+    KEY_COMPARE,
+    KEY_SHIFT,
+    NODE_HOP,
+    PHASE_COLLISION,
+    PHASE_SEARCH,
+    PHASE_SMO,
+    PHASE_TRAVERSE,
+    SCAN_ENTRY,
+    SLOT_PROBE,
+)
+from repro.indexes.base import (
+    KEY_BYTES,
+    PAYLOAD_BYTES,
+    POINTER_BYTES,
+    Key,
+    MemoryBreakdown,
+    OpRecord,
+    OrderedIndex,
+    Value,
+)
+
+_FANOUT = 15
+_VERSION_BYTES = 8
+_PERMUTATION_BYTES = 8
+
+
+class _Interior:
+    __slots__ = ("node_id", "keys", "children")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.keys: List[Key] = []
+        self.children: List[Any] = []
+
+
+class _Border:
+    """Border node: unsorted slots + permutation giving logical order."""
+
+    __slots__ = ("node_id", "keys", "values", "perm", "next")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.keys: List[Key] = []
+        self.values: List[Value] = []
+        self.perm: List[int] = []  # logical rank -> physical slot
+        self.next: Optional["_Border"] = None
+
+    def logical_key(self, rank: int) -> Key:
+        return self.keys[self.perm[rank]]
+
+    def sorted_items(self) -> List[Tuple[Key, Value]]:
+        return [(self.keys[s], self.values[s]) for s in self.perm]
+
+
+class Masstree(OrderedIndex):
+    """Masstree-style B+-tree with permutation border nodes."""
+
+    name = "Masstree"
+    is_learned = False
+    supports_delete = False
+    supports_range = True
+
+    def __init__(self, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self._root: Any = _Border(self._next_node_id())
+
+    # -- build --------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self.check_sorted(items)
+        fill = max(2, int(_FANOUT * 0.75))
+        borders: List[_Border] = []
+        for start in range(0, len(items), fill):
+            chunk = items[start : start + fill]
+            b = _Border(self._next_node_id())
+            b.keys = [k for k, _ in chunk]
+            b.values = [v for _, v in chunk]
+            b.perm = list(range(len(chunk)))
+            if borders:
+                borders[-1].next = b
+            borders.append(b)
+            self.meter.charge(ALLOC_NODE)
+        if not borders:
+            borders = [_Border(self._next_node_id())]
+        level: List[Any] = list(borders)
+        mins: List[Key] = [b.keys[0] if b.keys else 0 for b in borders]
+        while len(level) > 1:
+            parents: List[Any] = []
+            parent_mins: List[Key] = []
+            for start in range(0, len(level), fill):
+                group = level[start : start + fill]
+                inner = _Interior(self._next_node_id())
+                inner.children = list(group)
+                inner.keys = mins[start + 1 : start + len(group)]
+                parents.append(inner)
+                parent_mins.append(mins[start])
+                self.meter.charge(ALLOC_NODE)
+            level, mins = parents, parent_mins
+        self._root = level[0]
+        self._size = len(items)
+
+    # -- traversal ------------------------------------------------------------
+
+    def _lower(self, keys: List[Key], key: Key) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.meter.charge(KEY_COMPARE)
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _descend(self, key: Key, path: Optional[List[int]] = None) -> Tuple[_Border, List[_Interior]]:
+        node = self._root
+        inner_path: List[_Interior] = []
+        while isinstance(node, _Interior):
+            self.meter.charge(NODE_HOP)
+            if path is not None:
+                path.append(node.node_id)
+            idx = self._lower(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                idx += 1
+            inner_path.append(node)
+            node = node.children[idx]
+        self.meter.charge(NODE_HOP)
+        if path is not None:
+            path.append(node.node_id)
+        return node, inner_path
+
+    def _border_rank(self, border: _Border, key: Key) -> int:
+        """Lower-bound logical rank in a border node (via permutation)."""
+        lo, hi = 0, len(border.perm)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.meter.charge(KEY_COMPARE)
+            self.meter.charge(SLOT_PROBE)  # permutation indirection
+            if border.logical_key(mid) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- operations ---------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        path: List[int] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            border, _ = self._descend(key, path)
+        with self.meter.phase(PHASE_SEARCH):
+            rank = self._border_rank(border, key)
+        found = rank < len(border.perm) and border.logical_key(rank) == key
+        self.last_op = OpRecord(
+            op="lookup", key=key, found=found, path=path, nodes_traversed=len(path)
+        )
+        return border.values[border.perm[rank]] if found else None
+
+    def insert(self, key: Key, value: Value) -> bool:
+        path: List[int] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            border, inner_path = self._descend(key, path)
+        with self.meter.phase(PHASE_SEARCH):
+            rank = self._border_rank(border, key)
+        if rank < len(border.perm) and border.logical_key(rank) == key:
+            self.last_op = OpRecord(
+                op="insert", key=key, found=True, path=path,
+                nodes_traversed=len(path),
+            )
+            return False
+        with self.meter.phase(PHASE_COLLISION):
+            # Append to physical slots; only the permutation word shifts.
+            border.keys.append(key)
+            border.values.append(value)
+            border.perm.insert(rank, len(border.keys) - 1)
+            self.meter.charge(KEY_SHIFT)      # the new slot write
+            self.meter.charge(SLOT_PROBE, 2)  # permutation word rewrite
+        created = 0
+        smo = False
+        if len(border.keys) > _FANOUT:
+            with self.meter.phase(PHASE_SMO):
+                created = self._split_border(border, inner_path)
+            smo = True
+        self._size += 1
+        self.last_op = OpRecord(
+            op="insert", key=key, path=path, nodes_traversed=len(path),
+            keys_shifted=1, nodes_created=created, smo=smo,
+        )
+        return True
+
+    def _split_border(self, border: _Border, inner_path: List[_Interior]) -> int:
+        items = border.sorted_items()
+        mid = len(items) // 2
+        right = _Border(self._next_node_id())
+        right.keys = [k for k, _ in items[mid:]]
+        right.values = [v for _, v in items[mid:]]
+        right.perm = list(range(len(right.keys)))
+        border.keys = [k for k, _ in items[:mid]]
+        border.values = [v for _, v in items[:mid]]
+        border.perm = list(range(len(border.keys)))
+        right.next = border.next
+        border.next = right
+        self.meter.charge(ALLOC_NODE)
+        self.meter.charge(KEY_SHIFT, len(items))
+        created = 1
+        sep = right.keys[0]
+        node: Any = right
+        while True:
+            if not inner_path:
+                new_root = _Interior(self._next_node_id())
+                new_root.keys = [sep]
+                new_root.children = [self._root, node]
+                self._root = new_root
+                self.meter.charge(ALLOC_NODE)
+                return created + 1
+            parent = inner_path.pop()
+            idx = self._lower(parent.keys, sep)
+            parent.keys.insert(idx, sep)
+            parent.children.insert(idx + 1, node)
+            self.meter.charge(KEY_SHIFT, len(parent.keys) - idx)
+            if len(parent.children) <= _FANOUT:
+                return created
+            # Split the interior node.
+            m = len(parent.keys) // 2
+            new_inner = _Interior(self._next_node_id())
+            sep = parent.keys[m]
+            new_inner.keys = parent.keys[m + 1 :]
+            new_inner.children = parent.children[m + 1 :]
+            del parent.keys[m:]
+            del parent.children[m + 1 :]
+            self.meter.charge(ALLOC_NODE)
+            created += 1
+            node = new_inner
+
+    def update(self, key: Key, value: Value) -> bool:
+        with self.meter.phase(PHASE_TRAVERSE):
+            border, _ = self._descend(key)
+        rank = self._border_rank(border, key)
+        if rank < len(border.perm) and border.logical_key(rank) == key:
+            border.values[border.perm[rank]] = value
+            self.meter.charge(KEY_SHIFT)
+            return True
+        return False
+
+    # -- scans -----------------------------------------------------------------
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        out: List[Tuple[Key, Value]] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            border, _ = self._descend(start)
+        rank = self._border_rank(border, start)
+        node: Optional[_Border] = border
+        while node is not None and len(out) < count:
+            while rank < len(node.perm) and len(out) < count:
+                slot = node.perm[rank]
+                out.append((node.keys[slot], node.values[slot]))
+                self.meter.charge(SCAN_ENTRY)
+                self.meter.charge(SLOT_PROBE)  # permutation indirection
+                rank += 1
+            node = node.next
+            rank = 0
+            if node is not None:
+                self.meter.charge(NODE_HOP)
+        return out
+
+    # -- memory -----------------------------------------------------------------
+
+    def memory_usage(self) -> MemoryBreakdown:
+        inner = 0
+        leaf = 0
+        stack: List[Any] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Interior):
+                inner += (
+                    _VERSION_BYTES
+                    + _FANOUT * KEY_BYTES
+                    + (_FANOUT + 1) * POINTER_BYTES
+                )
+                stack.extend(node.children)
+            else:
+                leaf += (
+                    _VERSION_BYTES
+                    + _PERMUTATION_BYTES
+                    + _FANOUT * (KEY_BYTES + PAYLOAD_BYTES)
+                    + 2 * POINTER_BYTES
+                )
+        return MemoryBreakdown(inner=inner, leaf=leaf)

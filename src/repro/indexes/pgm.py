@@ -1,0 +1,414 @@
+"""PGM-Index (Ferragina & Vinciguerra, VLDB 2020), fully dynamic.
+
+A *static* PGM is a hierarchy of optimal ε-approximate PLA levels over
+a packed sorted array: a lookup walks the levels top-down, each model
+narrowing the next level's search to a ±ε window ("error-driven" in the
+paper's taxonomy, ε = 64 from Table 1).
+
+The *dynamic* PGM uses the LSM-style logarithmic method ("tree-merge"):
+sorted runs of geometrically growing capacity, each indexed by its own
+static PGM.  An insert merges full runs; deletes insert tombstones.
+This is why the paper observes that
+
+* PGM's insert throughput is the best of all indexes on write-only
+  workloads (bulk merges amortize beautifully) while its lookups are
+  the worst (every run may need probing),
+* PGM is the most *space-efficient* learned index (packed arrays, no
+  gaps — Figure 8), and
+* PGM shrugs off distribution shift (different distributions simply
+  live in different runs — Figure 12).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.cost import (
+    ALLOC_NODE,
+    charge_binary_search,
+    KEY_COMPARE,
+    KEY_SHIFT,
+    MODEL_EVAL,
+    NODE_HOP,
+    PHASE_COLLISION,
+    PHASE_SEARCH,
+    PHASE_SMO,
+    PHASE_TRAVERSE,
+    SCAN_ENTRY,
+    TRAIN_KEY,
+)
+from repro.core.hardness import Segment, optimal_pla
+from repro.indexes.base import (
+    KEY_BYTES,
+    PAYLOAD_BYTES,
+    Key,
+    MemoryBreakdown,
+    OpRecord,
+    OrderedIndex,
+    Value,
+)
+
+_TOMBSTONE = object()
+_SEGMENT_BYTES = 8 + 8 + 8  # first_key + slope + intercept (as in C++ PGM)
+
+
+class _StaticPGM:
+    """One immutable run: packed arrays + recursive PLA levels."""
+
+    __slots__ = ("keys", "values", "levels", "epsilon")
+
+    def __init__(
+        self,
+        items: Sequence[Tuple[Key, Value]],
+        epsilon: int,
+        meter,
+    ) -> None:
+        self.epsilon = epsilon
+        self.keys: List[Key] = [k for k, _ in items]
+        self.values: List[Value] = [v for _, v in items]
+        #: levels[0] = leaf segments over keys; levels[i+1] indexes the
+        #: first_keys of levels[i]; the last level has one segment.
+        self.levels: List[List[Segment]] = []
+        meter.charge(TRAIN_KEY, len(self.keys))
+        if self.keys:
+            level = optimal_pla(self.keys, epsilon)
+            self.levels.append(level)
+            while len(level) > 1:
+                first_keys = [seg.first_key for seg in level]
+                level = optimal_pla(first_keys, epsilon)
+                self.levels.append(level)
+                meter.charge(TRAIN_KEY, len(first_keys))
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def lower_bound(self, key: Key, meter) -> int:
+        """Index of the first key >= ``key`` via the model hierarchy."""
+        n = len(self.keys)
+        if n == 0:
+            return 0
+        eps = self.epsilon
+        # Walk from the top level down, narrowing the segment choice.
+        seg_idx = 0
+        for depth in range(len(self.levels) - 1, 0, -1):
+            level = self.levels[depth]
+            lower = self.levels[depth - 1]
+            seg = level[seg_idx if seg_idx < len(level) else len(level) - 1]
+            meter.charge(MODEL_EVAL)
+            meter.charge(NODE_HOP)
+            pred = int(seg.model.predict(key))
+            hi = max(min(pred + eps + 2, len(lower)), 0)
+            lo = min(max(pred - eps - 1, 0), hi)
+            # Find the last segment whose first_key <= key in [lo, hi).
+            seg_idx = self._search_segments(lower, key, lo, hi, meter)
+        leaf = self.levels[0][seg_idx]
+        meter.charge(MODEL_EVAL)
+        meter.charge(NODE_HOP)
+        pred = int(leaf.model.predict(key))
+        hi = max(min(pred + eps + 2, n), 0)
+        lo = min(max(pred - eps - 1, 0), hi)
+        # Binary search the ±ε window in the packed key array.
+        probes = 0
+        while lo < hi:
+            probes += 1
+            mid = (lo + hi) // 2
+            if self.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        charge_binary_search(meter, probes)
+        return lo
+
+    @staticmethod
+    def _search_segments(level: List[Segment], key: Key, lo: int, hi: int, meter) -> int:
+        probes = 0
+        while lo < hi:
+            probes += 1
+            mid = (lo + hi) // 2
+            if level[mid].first_key <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        charge_binary_search(meter, probes)
+        return max(lo - 1, 0)
+
+    def segment_count(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+
+class PGMIndex(OrderedIndex):
+    """Dynamic PGM-Index with the paper's ε = 64 configuration."""
+
+    name = "PGM"
+    is_learned = True
+    supports_delete = True
+    supports_range = True
+
+    def __init__(
+        self,
+        epsilon: int = 64,
+        buffer_size: int = 256,
+        check_duplicates: bool = False,
+        merge_policy: str = "logarithmic",
+        tier_fanout: int = 4,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        if epsilon < 1:
+            raise ValueError("epsilon must be >= 1")
+        if merge_policy not in ("logarithmic", "tiered"):
+            raise ValueError("merge_policy must be 'logarithmic' or 'tiered'")
+        if tier_fanout < 2:
+            raise ValueError("tier_fanout must be >= 2")
+        self.epsilon = epsilon
+        self.buffer_size = buffer_size
+        #: Upstream PGM blindly appends (upsert semantics) — the lookup
+        #: before insert would erase its LSM write advantage.  Enable only
+        #: when strict duplicate rejection is required.
+        self.check_duplicates = check_duplicates
+        #: "logarithmic" (upstream: binary merging, one run per level) or
+        #: "tiered" (size-tiered: up to ``tier_fanout`` similar-size runs
+        #: coexist before merging — cheaper writes, costlier lookups).
+        self.merge_policy = merge_policy
+        self.tier_fanout = tier_fanout
+        #: Unsorted write buffer (level 0 of the logarithmic method).
+        self._buffer: dict = {}
+        #: Sorted runs, newest first; logarithmic keeps one per level
+        #: (None = empty level), tiered keeps a flat newest-first list.
+        self._runs: List[Optional[_StaticPGM]] = []
+        self.merge_count = 0
+
+    # -- build --------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self.check_sorted(items)
+        self._buffer.clear()
+        self._runs = [_StaticPGM(items, self.epsilon, self.meter)] if items else []
+        self._size = len(items)
+        self.meter.charge(ALLOC_NODE)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        probed = 0
+        with self.meter.phase(PHASE_SEARCH):
+            if key in self._buffer:
+                v = self._buffer[key]
+                self.last_op = OpRecord(op="lookup", key=key, found=v is not _TOMBSTONE,
+                                        nodes_traversed=1)
+                return None if v is _TOMBSTONE else v
+            self.meter.charge(KEY_COMPARE)
+        with self.meter.phase(PHASE_TRAVERSE):
+            # Newest run first: LSM shadowing semantics.
+            for run in self._runs:
+                if run is None or len(run) == 0:
+                    continue
+                probed += 1
+                i = run.lower_bound(key, self.meter)
+                if i < len(run.keys) and run.keys[i] == key:
+                    v = run.values[i]
+                    self.last_op = OpRecord(
+                        op="lookup", key=key, found=v is not _TOMBSTONE,
+                        nodes_traversed=probed,
+                    )
+                    return None if v is _TOMBSTONE else v
+        self.last_op = OpRecord(op="lookup", key=key, found=False, nodes_traversed=probed)
+        return None
+
+    # -- insert ------------------------------------------------------------------
+
+    def insert(self, key: Key, value: Value) -> bool:
+        if self.check_duplicates and self.lookup(key) is not None:
+            self.last_op = OpRecord(op="insert", key=key, found=True)
+            return False
+        self._put(key, value)
+        self._size += 1
+        return True
+
+    def _put(self, key: Key, value: Value) -> None:
+        with self.meter.phase(PHASE_COLLISION):
+            self._buffer[key] = value
+            self.meter.charge(KEY_SHIFT)
+        smo = False
+        if len(self._buffer) >= self.buffer_size:
+            with self.meter.phase(PHASE_SMO):
+                self._merge_down()
+            smo = True
+        self.last_op = OpRecord(op="insert", key=key, smo=smo, nodes_created=1 if smo else 0)
+
+    def _merge_down(self) -> None:
+        """Flush the buffer according to the configured merge policy."""
+        self.merge_count += 1
+        spill = sorted(self._buffer.items())
+        self._buffer.clear()
+        if self.merge_policy == "tiered":
+            self._merge_down_tiered(spill)
+            return
+        level = 0
+        while True:
+            if level >= len(self._runs):
+                self._runs.append(None)
+            run = self._runs[level]
+            capacity = self.buffer_size * (2 ** level)
+            if run is None or len(run) == 0:
+                if len(spill) <= capacity:
+                    self._runs[level] = _StaticPGM(spill, self.epsilon, self.meter)
+                    self.meter.charge(ALLOC_NODE)
+                    self.meter.charge(KEY_SHIFT, len(spill))
+                    return
+                level += 1
+                continue
+            # Merge and carry to the next level.
+            spill = self._merge_items(list(zip(run.keys, run.values)), spill)
+            self._runs[level] = None
+            self.meter.charge(KEY_SHIFT, len(spill))
+            level += 1
+
+    def _merge_down_tiered(self, spill: List[Tuple[Key, Value]]) -> None:
+        """Size-tiered compaction: up to ``tier_fanout`` similar-size
+        runs coexist; overflowing a size bucket merges that bucket."""
+        self._runs.insert(0, _StaticPGM(spill, self.epsilon, self.meter))
+        self.meter.charge(ALLOC_NODE)
+        self.meter.charge(KEY_SHIFT, len(spill))
+        while True:
+            buckets: dict = {}
+            for idx, run in enumerate(self._runs):
+                if run is None or len(run) == 0:
+                    continue
+                buckets.setdefault(max(len(run), 1).bit_length() // 2, []).append(idx)
+            victims = next(
+                (idxs for idxs in buckets.values() if len(idxs) >= self.tier_fanout),
+                None,
+            )
+            if victims is None:
+                return
+            # K-way merge, newest run wins on key ties (age = position
+            # in the newest-first victims list).
+            victims.sort()
+            tagged = []
+            for age, idx in enumerate(victims):
+                run = self._runs[idx]
+                tagged.append(
+                    [(k, age, v) for k, v in zip(run.keys, run.values)]
+                )
+            merged: List[Tuple[Key, Value]] = []
+            last_key: Optional[Key] = None
+            for k, _, v in heapq.merge(*tagged):
+                if k == last_key:
+                    continue
+                last_key = k
+                merged.append((k, v))
+            self.meter.charge(KEY_SHIFT, sum(len(t) for t in tagged))
+            # The merged run takes the oldest victim's position, keeping
+            # newest-first shadowing intact for the survivors.
+            new_run = _StaticPGM(merged, self.epsilon, self.meter)
+            self.meter.charge(ALLOC_NODE)
+            keep = [r for i, r in enumerate(self._runs) if i not in set(victims)]
+            keep.insert(
+                sum(1 for i in range(victims[-1]) if i not in set(victims)), new_run
+            )
+            self._runs = keep
+
+    @staticmethod
+    def _merge_items(
+        old: List[Tuple[Key, Value]], new: List[Tuple[Key, Value]]
+    ) -> List[Tuple[Key, Value]]:
+        """Merge-sort two runs; on equal keys the *new* entry wins.
+
+        Tombstones are RETAINED even when they meet their victim: a
+        still-deeper run (not part of this merge) may hold another copy
+        of the key, and dropping the tombstone here would resurrect it.
+        Tombstones thus ride to the bottom, as in production LSM trees.
+        """
+        out: List[Tuple[Key, Value]] = []
+        i = j = 0
+        while i < len(old) and j < len(new):
+            if old[i][0] < new[j][0]:
+                out.append(old[i])
+                i += 1
+            elif old[i][0] > new[j][0]:
+                out.append(new[j])
+                j += 1
+            else:
+                out.append(new[j])
+                i += 1
+                j += 1
+        out.extend(old[i:])
+        out.extend(new[j:])
+        return out
+
+    # -- update / delete -----------------------------------------------------------
+
+    def update(self, key: Key, value: Value) -> bool:
+        if self.lookup(key) is None:
+            return False
+        self._put(key, value)
+        return True
+
+    def delete(self, key: Key) -> bool:
+        if self.lookup(key) is None:
+            self.last_op = OpRecord(op="delete", key=key, found=False)
+            return False
+        self._put(key, _TOMBSTONE)
+        self._size -= 1
+        self.last_op = OpRecord(op="delete", key=key, found=True)
+        return True
+
+    # -- scans -----------------------------------------------------------------
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        """K-way merge across the buffer and every run."""
+        out: List[Tuple[Key, Value]] = []
+        cursors: List[Tuple[int, int]] = []  # (run_idx, position)
+        runs = [r for r in self._runs if r is not None and len(r) > 0]
+        with self.meter.phase(PHASE_TRAVERSE):
+            positions = [run.lower_bound(start, self.meter) for run in runs]
+        buf = sorted((k, v) for k, v in self._buffer.items() if k >= start)
+        bi = 0
+        seen = set()
+        while len(out) < count:
+            best_key = None
+            best_src = -2  # -1 = buffer, else run index
+            if bi < len(buf):
+                best_key, best_src = buf[bi][0], -1
+            for ri, run in enumerate(runs):
+                p = positions[ri]
+                if p < len(run.keys):
+                    k = run.keys[p]
+                    if best_key is None or k < best_key:
+                        best_key, best_src = k, ri
+            if best_key is None:
+                break
+            self.meter.charge(SCAN_ENTRY)
+            if best_src == -1:
+                k, v = buf[bi]
+                bi += 1
+            else:
+                p = positions[best_src]
+                k, v = runs[best_src].keys[p], runs[best_src].values[p]
+                positions[best_src] = p + 1
+            if k in seen:
+                continue
+            seen.add(k)
+            if v is not _TOMBSTONE:
+                out.append((k, v))
+        return out
+
+    # -- memory -----------------------------------------------------------------
+
+    def memory_usage(self) -> MemoryBreakdown:
+        leaf = len(self._buffer) * (KEY_BYTES + PAYLOAD_BYTES) * 2  # hash slack
+        inner = 0
+        for run in self._runs:
+            if run is None:
+                continue
+            leaf += len(run.keys) * (KEY_BYTES + PAYLOAD_BYTES)
+            inner += run.segment_count() * _SEGMENT_BYTES
+        return MemoryBreakdown(inner=inner, leaf=leaf)
+
+    # -- introspection ------------------------------------------------------------
+
+    def run_sizes(self) -> List[int]:
+        return [len(r) if r is not None else 0 for r in self._runs]

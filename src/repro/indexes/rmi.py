@@ -1,0 +1,171 @@
+"""RMI — the original Recursive Model Index (Kraska et al., SIGMOD 2018).
+
+The paper's Section 2 background: the read-only index that started the
+field.  Two stages of linear models over a packed sorted array; stage 1
+routes a key to one of ``fanout`` stage-2 models; each stage-2 model
+predicts a position with a per-model recorded maximum error, bounding
+the last-mile binary search.
+
+Included as the read-only baseline the updatable indexes are measured
+against conceptually.  ``insert``/``delete`` raise — that limitation is
+the entire motivation of the paper this repository reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.cost import (
+    KEY_COMPARE,
+    MODEL_EVAL,
+    NODE_HOP,
+    PHASE_SEARCH,
+    PHASE_TRAVERSE,
+    SCAN_ENTRY,
+    TRAIN_KEY,
+    charge_binary_search,
+)
+from repro.indexes.base import (
+    KEY_BYTES,
+    PAYLOAD_BYTES,
+    Key,
+    MemoryBreakdown,
+    OpRecord,
+    OrderedIndex,
+    Value,
+)
+from repro.indexes.linear_model import LinearModel
+
+_MODEL_BYTES = 24
+
+
+class RMI(OrderedIndex):
+    """Two-stage recursive model index (read-only)."""
+
+    name = "RMI"
+    is_learned = True
+    supports_delete = False
+    supports_range = True
+
+    def __init__(self, fanout: int = 64, **kwargs: Any) -> None:
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        super().__init__(**kwargs)
+        self.fanout = fanout
+        self._keys: List[Key] = []
+        self._values: List[Value] = []
+        self._root = LinearModel()
+        self._leaf_models: List[LinearModel] = []
+        self._leaf_errors: List[int] = []
+
+    # -- build --------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self.check_sorted(items)
+        self._keys = [k for k, _ in items]
+        self._values = [v for _, v in items]
+        self._size = len(items)
+        n = len(self._keys)
+        self._leaf_models = [LinearModel() for _ in range(self.fanout)]
+        self._leaf_errors = [0] * self.fanout
+        if n == 0:
+            self._root = LinearModel()
+            return
+        # Stage 1: one model over the whole CDF, scaled to leaf slots.
+        self._root = LinearModel.train(self._keys).scaled(self.fanout / n)
+        self.meter.charge(TRAIN_KEY, n)
+        # Partition by the stage-1 prediction, then fit each partition.
+        buckets: List[List[int]] = [[] for _ in range(self.fanout)]
+        for idx, k in enumerate(self._keys):
+            buckets[self._root.predict_clamped(k, self.fanout)].append(idx)
+        for m, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            ks = [self._keys[i] for i in bucket]
+            model = LinearModel.train(ks, bucket)
+            self._leaf_models[m] = model
+            self._leaf_errors[m] = max(
+                (abs(int(model.predict(self._keys[i])) - i) for i in bucket),
+                default=0,
+            )
+            self.meter.charge(TRAIN_KEY, len(ks))
+
+    # -- lookup ------------------------------------------------------------------
+
+    def _lower_bound(self, key: Key) -> int:
+        n = len(self._keys)
+        if n == 0:
+            return 0
+        self.meter.charge(MODEL_EVAL)
+        m = self._root.predict_clamped(key, self.fanout)
+        self.meter.charge(NODE_HOP)  # stage-2 model fetch
+        self.meter.charge(MODEL_EVAL)
+        model = self._leaf_models[m]
+        err = self._leaf_errors[m]
+        pred = int(model.predict(key))
+        hi = max(min(pred + err + 2, n), 0)
+        lo = min(max(pred - err - 1, 0), hi)
+        probes = 0
+        while lo < hi:
+            probes += 1
+            mid = (lo + hi) // 2
+            if self._keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        charge_binary_search(self.meter, probes)
+        # The prediction window is exact only for trained keys; absent
+        # keys at bucket edges may need to spill to the neighbours.
+        while lo > 0 and self._keys[lo - 1] >= key:
+            lo -= 1
+            self.meter.charge(KEY_COMPARE)
+        while lo < n and self._keys[lo] < key:
+            lo += 1
+            self.meter.charge(KEY_COMPARE)
+        return lo
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        with self.meter.phase(PHASE_TRAVERSE):
+            pass
+        with self.meter.phase(PHASE_SEARCH):
+            i = self._lower_bound(key)
+        found = i < len(self._keys) and self._keys[i] == key
+        self.last_op = OpRecord(op="lookup", key=key, found=found,
+                                nodes_traversed=2)
+        return self._values[i] if found else None
+
+    # -- mutations: the point of the paper ---------------------------------------
+
+    def insert(self, key: Key, value: Value) -> bool:
+        raise NotImplementedError(
+            "RMI is read-only — use ALEX/LIPP/PGM for dynamic workloads "
+            "(that gap is what 'Are Updatable Learned Indexes Ready?' studies)"
+        )
+
+    def update(self, key: Key, value: Value) -> bool:
+        i = self._lower_bound(key)
+        if i < len(self._keys) and self._keys[i] == key:
+            self._values[i] = value
+            return True
+        return False
+
+    # -- scans -----------------------------------------------------------------
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        i = self._lower_bound(start)
+        out = []
+        for j in range(i, min(i + count, len(self._keys))):
+            out.append((self._keys[j], self._values[j]))
+            self.meter.charge(SCAN_ENTRY)
+        return out
+
+    # -- memory -----------------------------------------------------------------
+
+    def memory_usage(self) -> MemoryBreakdown:
+        inner = (1 + self.fanout) * _MODEL_BYTES + self.fanout * 8
+        leaf = len(self._keys) * (KEY_BYTES + PAYLOAD_BYTES)
+        return MemoryBreakdown(inner=inner, leaf=leaf)
+
+    @property
+    def max_error(self) -> int:
+        return max(self._leaf_errors, default=0)

@@ -1,0 +1,336 @@
+"""XIndex (Tang et al., PPoPP 2020) — delta-merge learned index.
+
+Two-layer structure: a root that routes to *groups*; each group owns a
+sorted data array approximated by up to ``max_models_per_group`` linear
+models (error bound 32, Table 1) and a per-group *delta* absorbing
+inserts.  When a delta fills up, the group *compacts*: delta and data
+are merged and the models retrained.
+
+Upstream XIndex performs compaction on a background thread; the paper
+pins that thread to the same core as the workers (same CPU budget for
+every index) and shows the resulting context-switch/merge cost as
+XIndex's signature tail-latency blow-up (Figures 10–11).  We reproduce
+that execution model faithfully for a single CPU: the merge runs inline
+and its full cost lands on the unlucky triggering operation — exactly
+what a pinned background thread does to the foreground latency
+distribution.  The concurrency adapter models the RCU handshake.
+
+Deletes are not part of the paper's XIndex evaluation (Figure 7
+excludes it); updates are in-place.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.cost import (
+    ALLOC_NODE,
+    charge_binary_search,
+    KEY_COMPARE,
+    KEY_SHIFT,
+    MODEL_EVAL,
+    NODE_HOP,
+    PHASE_COLLISION,
+    PHASE_SEARCH,
+    PHASE_SMO,
+    PHASE_TRAVERSE,
+    SCAN_ENTRY,
+    TRAIN_KEY,
+)
+from repro.core.hardness import Segment, optimal_pla
+from repro.indexes.base import (
+    KEY_BYTES,
+    PAYLOAD_BYTES,
+    POINTER_BYTES,
+    Key,
+    MemoryBreakdown,
+    OpRecord,
+    OrderedIndex,
+    Value,
+)
+from repro.indexes.linear_model import LinearModel
+
+_GROUP_HEADER_BYTES = 64
+_MODEL_BYTES = 24
+
+
+class _Group:
+    __slots__ = ("node_id", "pivot", "keys", "values", "segments", "delta_keys", "delta_values")
+
+    def __init__(self, node_id: int, pivot: Key) -> None:
+        self.node_id = node_id
+        self.pivot = pivot
+        self.keys: List[Key] = []
+        self.values: List[Value] = []
+        self.segments: List[Segment] = []
+        self.delta_keys: List[Key] = []
+        self.delta_values: List[Value] = []
+
+
+class XIndex(OrderedIndex):
+    """XIndex with the paper's Table-1 configuration."""
+
+    name = "XIndex"
+    is_learned = True
+    supports_delete = False
+    supports_range = True
+
+    def __init__(
+        self,
+        epsilon: int = 32,
+        delta_size: int = 256,
+        max_models_per_group: int = 4,
+        target_group_keys: int = 1024,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.epsilon = epsilon
+        self.delta_size = delta_size
+        self.max_models_per_group = max_models_per_group
+        self.target_group_keys = target_group_keys
+        self._groups: List[_Group] = [_Group(self._next_node_id(), 0)]
+        self._root_model = LinearModel()
+        self.compaction_count = 0
+        #: Virtual time the last compaction cost — tail-latency benches
+        #: read this to attribute merge spikes.
+        self.last_compaction_cost = 0.0
+
+    # -- build --------------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self.check_sorted(items)
+        self._groups = []
+        for start in range(0, len(items), self.target_group_keys):
+            chunk = items[start : start + self.target_group_keys]
+            g = _Group(self._next_node_id(), chunk[0][0] if start else 0)
+            g.keys = [k for k, _ in chunk]
+            g.values = [v for _, v in chunk]
+            self._retrain_group(g)
+            self._groups.append(g)
+            self.meter.charge(ALLOC_NODE)
+        if not self._groups:
+            self._groups = [_Group(self._next_node_id(), 0)]
+        self._train_root()
+        self._size = len(items)
+
+    def _train_root(self) -> None:
+        pivots = [g.pivot for g in self._groups]
+        self._root_model = LinearModel.train(pivots)
+        self.meter.charge(TRAIN_KEY, len(pivots))
+
+    def _retrain_group(self, g: _Group) -> None:
+        g.segments = optimal_pla(g.keys, self.epsilon) if g.keys else []
+        self.meter.charge(TRAIN_KEY, len(g.keys))
+
+    # -- routing ------------------------------------------------------------------
+
+    def _find_group(self, key: Key) -> Tuple[int, _Group]:
+        # Root structure access (upstream: a 2-level RMI) is a pointer
+        # chase of its own before the group node is reached.
+        self.meter.charge(NODE_HOP)
+        self.meter.charge(MODEL_EVAL)
+        n = len(self._groups)
+        hint = self._root_model.predict_clamped(key, n)
+        # Local search around the root model's prediction.
+        i = hint
+        probes = 1
+        while i > 0 and self._groups[i].pivot > key:
+            i -= 1
+            probes += 1
+        while i + 1 < n and self._groups[i + 1].pivot <= key:
+            i += 1
+            probes += 1
+        self.meter.charge(KEY_COMPARE, probes)
+        return i, self._groups[i]
+
+    def _group_lower_bound(self, g: _Group, key: Key) -> int:
+        """Model-guided lower bound in the group's main array."""
+        if not g.keys:
+            return 0
+        # Pick the segment (≤ 4, so a short scan).
+        seg = g.segments[0]
+        for s in g.segments:
+            self.meter.charge(KEY_COMPARE)
+            if s.first_key <= key:
+                seg = s
+            else:
+                break
+        self.meter.charge(MODEL_EVAL)
+        pred = int(seg.model.predict(key))
+        n = len(g.keys)
+        hi = max(min(pred + self.epsilon + 2, n), 0)
+        lo = min(max(pred - self.epsilon - 1, 0), hi)
+        probes = 0
+        while lo < hi:
+            probes += 1
+            mid = (lo + hi) // 2
+            if g.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        charge_binary_search(self.meter, probes)
+        return lo
+
+    # -- operations ---------------------------------------------------------------
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        with self.meter.phase(PHASE_TRAVERSE):
+            gi, g = self._find_group(key)
+            self.meter.charge(NODE_HOP)
+        with self.meter.phase(PHASE_SEARCH):
+            i = self._group_lower_bound(g, key)
+            if i < len(g.keys) and g.keys[i] == key:
+                self.last_op = OpRecord(op="lookup", key=key, found=True,
+                                        path=[g.node_id], nodes_traversed=2)
+                return g.values[i]
+            # Miss in main: probe the delta.
+            self.meter.charge(NODE_HOP)
+            j = bisect.bisect_left(g.delta_keys, key)
+            self.meter.charge(KEY_COMPARE, max(1, len(g.delta_keys).bit_length()))
+            if j < len(g.delta_keys) and g.delta_keys[j] == key:
+                self.last_op = OpRecord(op="lookup", key=key, found=True,
+                                        path=[g.node_id], nodes_traversed=2)
+                return g.delta_values[j]
+        self.last_op = OpRecord(op="lookup", key=key, found=False,
+                                path=[g.node_id], nodes_traversed=2)
+        return None
+
+    def insert(self, key: Key, value: Value) -> bool:
+        with self.meter.phase(PHASE_TRAVERSE):
+            gi, g = self._find_group(key)
+            self.meter.charge(NODE_HOP)
+        with self.meter.phase(PHASE_SEARCH):
+            i = self._group_lower_bound(g, key)
+            if i < len(g.keys) and g.keys[i] == key:
+                self.last_op = OpRecord(op="insert", key=key, found=True,
+                                        path=[g.node_id], nodes_traversed=2)
+                return False
+            j = bisect.bisect_left(g.delta_keys, key)
+            if j < len(g.delta_keys) and g.delta_keys[j] == key:
+                self.last_op = OpRecord(op="insert", key=key, found=True,
+                                        path=[g.node_id], nodes_traversed=2)
+                return False
+        shifted = len(g.delta_keys) - j
+        with self.meter.phase(PHASE_COLLISION):
+            g.delta_keys.insert(j, key)
+            g.delta_values.insert(j, value)
+            self.meter.charge(KEY_SHIFT, shifted)
+        smo = False
+        created = 0
+        if len(g.delta_keys) >= self.delta_size:
+            with self.meter.phase(PHASE_SMO):
+                created = self._compact(gi, g)
+            smo = True
+        self._size += 1
+        self.last_op = OpRecord(
+            op="insert", key=key, path=[g.node_id], nodes_traversed=2,
+            keys_shifted=shifted, smo=smo, nodes_created=created,
+        )
+        return True
+
+    def _compact(self, gi: int, g: _Group) -> int:
+        """Merge the delta into the main array; split the group if its
+        PLA now needs more than ``max_models_per_group`` models."""
+        self.compaction_count += 1
+        before = self.meter.total_time()
+        merged_k: List[Key] = []
+        merged_v: List[Value] = []
+        a, b = 0, 0
+        while a < len(g.keys) and b < len(g.delta_keys):
+            if g.keys[a] <= g.delta_keys[b]:
+                merged_k.append(g.keys[a])
+                merged_v.append(g.values[a])
+                a += 1
+            else:
+                merged_k.append(g.delta_keys[b])
+                merged_v.append(g.delta_values[b])
+                b += 1
+        merged_k.extend(g.keys[a:])
+        merged_v.extend(g.values[a:])
+        merged_k.extend(g.delta_keys[b:])
+        merged_v.extend(g.delta_values[b:])
+        self.meter.charge(KEY_SHIFT, len(merged_k))
+        g.keys, g.values = merged_k, merged_v
+        g.delta_keys, g.delta_values = [], []
+        self._retrain_group(g)
+        created = 0
+        if len(g.segments) > self.max_models_per_group:
+            # Error tolerance exceeded: split the group in half.
+            mid = len(g.keys) // 2
+            right = _Group(self._next_node_id(), g.keys[mid])
+            right.keys = g.keys[mid:]
+            right.values = g.values[mid:]
+            del g.keys[mid:]
+            del g.values[mid:]
+            self._retrain_group(g)
+            self._retrain_group(right)
+            self._groups.insert(gi + 1, right)
+            self._train_root()
+            self.meter.charge(ALLOC_NODE)
+            created = 1
+        self.last_compaction_cost = self.meter.total_time() - before
+        return created
+
+    def update(self, key: Key, value: Value) -> bool:
+        _, g = self._find_group(key)
+        i = self._group_lower_bound(g, key)
+        if i < len(g.keys) and g.keys[i] == key:
+            g.values[i] = value
+            self.meter.charge(KEY_SHIFT)
+            return True
+        j = bisect.bisect_left(g.delta_keys, key)
+        if j < len(g.delta_keys) and g.delta_keys[j] == key:
+            g.delta_values[j] = value
+            self.meter.charge(KEY_SHIFT)
+            return True
+        return False
+
+    # -- scans -----------------------------------------------------------------
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        out: List[Tuple[Key, Value]] = []
+        with self.meter.phase(PHASE_TRAVERSE):
+            gi, g = self._find_group(start)
+        first_group = True
+        while gi < len(self._groups) and len(out) < count:
+            g = self._groups[gi]
+            if first_group:
+                i = self._group_lower_bound(g, start)
+                j = bisect.bisect_left(g.delta_keys, start)
+                first_group = False
+            else:
+                i = j = 0
+            # Two-way merge of main and delta.
+            while len(out) < count and (i < len(g.keys) or j < len(g.delta_keys)):
+                take_main = j >= len(g.delta_keys) or (
+                    i < len(g.keys) and g.keys[i] <= g.delta_keys[j]
+                )
+                if take_main:
+                    out.append((g.keys[i], g.values[i]))
+                    i += 1
+                else:
+                    out.append((g.delta_keys[j], g.delta_values[j]))
+                    j += 1
+                self.meter.charge(SCAN_ENTRY)
+            gi += 1
+            if gi < len(self._groups):
+                self.meter.charge(NODE_HOP)
+        return out
+
+    # -- memory -----------------------------------------------------------------
+
+    def memory_usage(self) -> MemoryBreakdown:
+        inner = len(self._groups) * (KEY_BYTES + POINTER_BYTES) + _MODEL_BYTES
+        leaf = 0
+        for g in self._groups:
+            leaf += _GROUP_HEADER_BYTES
+            leaf += len(g.keys) * (KEY_BYTES + PAYLOAD_BYTES)
+            leaf += self.delta_size * (KEY_BYTES + PAYLOAD_BYTES)  # delta arena
+            inner += len(g.segments) * _MODEL_BYTES
+        return MemoryBreakdown(inner=inner, leaf=leaf)
+
+    # -- introspection ------------------------------------------------------------
+
+    def group_count(self) -> int:
+        return len(self._groups)

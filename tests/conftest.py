@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+
+def random_unique_keys(n: int, seed: int = 0, lo: int = 0, hi: int = 2**48) -> List[int]:
+    """Deterministic sample of ``n`` unique keys in ``[lo, hi)``."""
+    rng = random.Random(seed)
+    keys = set()
+    while len(keys) < n:
+        keys.add(rng.randrange(lo, hi))
+    return sorted(keys)
+
+
+def make_items(keys: List[int]) -> List[Tuple[int, int]]:
+    """Pair each key with a payload derived from it (checkable later)."""
+    return [(k, k * 2 + 1) for k in keys]
+
+
+@pytest.fixture
+def small_items() -> List[Tuple[int, int]]:
+    return make_items(random_unique_keys(500, seed=7))
+
+
+@pytest.fixture
+def medium_items() -> List[Tuple[int, int]]:
+    return make_items(random_unique_keys(5000, seed=11))

@@ -1,0 +1,168 @@
+"""ALEX: contract conformance plus gapped-array / SMO behaviour."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.indexes.alex import ALEX, _GAP_HIGH
+from tests.index_contract import IndexContract
+
+
+class TestALEXContract(IndexContract):
+    def make(self) -> ALEX:
+        return ALEX(target_leaf_keys=128, max_data_keys=2048)
+
+
+class TestALEXDefaultsContract(IndexContract):
+    """Contract at the paper's (scaled) default configuration."""
+
+    N = 1500
+
+    def make(self) -> ALEX:
+        return ALEX()
+
+
+def _uniform_items(n, seed=0):
+    rng = random.Random(seed)
+    keys = sorted({rng.randrange(2**40) for _ in range(n)})
+    return [(k, k) for k in keys]
+
+
+def test_gapped_array_stays_sorted_under_inserts():
+    idx = ALEX(target_leaf_keys=64)
+    idx.bulk_load(_uniform_items(200, seed=1))
+    rng = random.Random(2)
+    for _ in range(500):
+        idx.insert(rng.randrange(2**40), 0)
+    for node in idx.data_nodes():
+        assert node.keys == sorted(node.keys)
+        assert node.num_keys == sum(node.present)
+
+
+def test_density_bounds_respected_after_workload():
+    idx = ALEX(target_leaf_keys=64)
+    idx.bulk_load(_uniform_items(100, seed=3))
+    rng = random.Random(4)
+    for _ in range(2000):
+        idx.insert(rng.randrange(2**40), 0)
+    for node in idx.data_nodes():
+        if node.num_keys > 8:
+            assert node.density() <= 0.85
+
+
+def test_smo_triggered_by_density():
+    idx = ALEX(target_leaf_keys=32)
+    idx.bulk_load(_uniform_items(64, seed=5))
+    for i in range(500):
+        idx.insert(i * 7 + 3, 0)
+    assert idx.smo_count > 0
+
+
+def test_sequential_inserts_split_not_explode():
+    """Appending monotonically must not degrade into O(n) shifting."""
+    idx = ALEX(target_leaf_keys=64, max_data_keys=512)
+    idx.bulk_load([(i, i) for i in range(100)])
+    for i in range(100, 3000):
+        idx.insert(i, i)
+    assert idx.lookup(2999) == 2999
+    assert len(idx) == 3000
+    got = idx.range_scan(0, 3000)
+    assert [k for k, _ in got] == list(range(3000))
+
+
+def test_duplicate_mode_rejects_bad_value():
+    with pytest.raises(ValueError):
+        ALEX(duplicate_mode="bogus")
+
+
+def test_inline_duplicates():
+    idx = ALEX(duplicate_mode="inline", target_leaf_keys=32)
+    idx.bulk_load([(10, "a"), (10, "b"), (20, "c")])
+    assert len(idx) == 3
+    for i in range(30):
+        assert idx.insert(10, f"x{i}")
+    scan = idx.range_scan(10, 40)
+    tens = [v for k, v in scan if k == 10]
+    assert len(tens) == 32
+
+
+def test_linked_list_duplicates():
+    idx = ALEX(duplicate_mode="linked_list", target_leaf_keys=32)
+    idx.bulk_load([(10, "a"), (20, "b")])
+    for i in range(30):
+        assert idx.insert(10, f"x{i}")
+    assert len(idx) == 32
+    assert idx.lookup(10) == "a"
+    scan = idx.range_scan(10, 40)
+    tens = [v for k, v in scan if k == 10]
+    assert len(tens) == 31
+
+
+def test_keys_shifted_recorded():
+    idx = ALEX(target_leaf_keys=512)
+    # Fully packed region forces shifting.
+    idx.bulk_load([(i * 10, i) for i in range(400)])
+    total_shifts = 0
+    for i in range(200):
+        idx.insert(i * 10 + 5, 0)
+        total_shifts += idx.last_op.keys_shifted
+    assert total_shifts > 0
+
+
+def test_delete_never_retrains_model():
+    """Message 8: deletes do not pollute models."""
+    idx = ALEX(target_leaf_keys=128)
+    items = _uniform_items(1000, seed=6)
+    idx.bulk_load(items)
+    models_before = [(n.model.slope, n.model.intercept) for n in idx.data_nodes()]
+    # Delete a third of the keys: no contraction expected at this density.
+    for k, _ in items[::3]:
+        assert idx.delete(k)
+    models_after = [(n.model.slope, n.model.intercept) for n in idx.data_nodes()]
+    assert models_before == models_after
+
+
+def test_contraction_on_heavy_deletion():
+    idx = ALEX(target_leaf_keys=512)
+    items = _uniform_items(2000, seed=7)
+    idx.bulk_load(items)
+    cap_before = sum(n.capacity for n in idx.data_nodes())
+    for k, _ in items[:1900]:
+        idx.delete(k)
+    cap_after = sum(n.capacity for n in idx.data_nodes())
+    assert cap_after < cap_before
+
+
+def test_gap_sentinel_is_above_u64():
+    assert _GAP_HIGH > 2**64 - 1
+
+
+def test_alex_plus_config_smaller_nodes():
+    """ALEX+ caps data nodes at 512KB (scaled smaller here)."""
+    idx = ALEX(max_data_keys=256, target_leaf_keys=64)
+    idx.bulk_load(_uniform_items(100, seed=8))
+    for i in range(5000):
+        idx.insert(i * 13 + 1, 0)
+    for node in idx.data_nodes():
+        assert node.num_keys <= 256 * 2  # split must keep nodes bounded
+
+
+@given(st.sets(st.integers(min_value=0, max_value=2**32), min_size=2, max_size=250),
+       st.sets(st.integers(min_value=0, max_value=2**32), max_size=150))
+@settings(max_examples=30, deadline=None)
+def test_property_matches_dict_model(loaded, inserted):
+    idx = ALEX(target_leaf_keys=32, max_data_keys=256)
+    model = {k: k + 1 for k in loaded}
+    idx.bulk_load(sorted(model.items()))
+    for k in inserted:
+        expect = k not in model
+        assert idx.insert(k, k + 1) == expect
+        model.setdefault(k, k + 1)
+    doomed = sorted(model)[::4]
+    for k in doomed:
+        assert idx.delete(k)
+        del model[k]
+    assert len(idx) == len(model)
+    assert idx.range_scan(0, len(model) + 5) == sorted(model.items())

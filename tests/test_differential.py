@@ -1,0 +1,153 @@
+"""Differential testing: every index must agree with a model dict.
+
+The strongest correctness net in the suite: one random operation
+stream, replayed on *all* index implementations and on a sorted-dict
+reference model; any divergence in results is a bug in that index.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ALEX,
+    FITingTree,
+    ART,
+    BPlusTree,
+    FINEdex,
+    HOT,
+    LIPP,
+    Masstree,
+    PGMIndex,
+    Wormhole,
+    XIndex,
+)
+
+ALL_FACTORIES = {
+    "ALEX": lambda: ALEX(target_leaf_keys=64, max_data_keys=512),
+    "LIPP": LIPP,
+    "PGM": lambda: PGMIndex(check_duplicates=True, buffer_size=32),
+    "XIndex": lambda: XIndex(delta_size=16, target_group_keys=64),
+    "FINEdex": lambda: FINEdex(bin_capacity=4),
+    "FITing-Tree": lambda: FITingTree(buffer_size=4),
+    "B+tree": lambda: BPlusTree(fanout=8),
+    "ART": ART,
+    "HOT": HOT,
+    "Masstree": Masstree,
+    "Wormhole": Wormhole,
+}
+
+
+def _op_stream(seed: int, n_ops: int, key_space: int):
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(n_ops):
+        r = rng.random()
+        k = rng.randrange(key_space)
+        if r < 0.35:
+            ops.append(("insert", k))
+        elif r < 0.70:
+            ops.append(("lookup", k))
+        elif r < 0.80:
+            ops.append(("update", k))
+        elif r < 0.90:
+            ops.append(("delete", k))
+        else:
+            ops.append(("scan", k))
+    return ops
+
+
+def _replay(index, ops, model: Dict[int, int]):
+    """Replay ops on index and model simultaneously, asserting agreement."""
+    for i, (op, k) in enumerate(ops):
+        if op == "insert":
+            expect = k not in model
+            got = index.insert(k, k + 1)
+            assert got == expect, f"op#{i} insert({k}): {got} != {expect}"
+            model.setdefault(k, k + 1)
+        elif op == "lookup":
+            got = index.lookup(k)
+            assert got == model.get(k), f"op#{i} lookup({k})"
+        elif op == "update":
+            expect = k in model
+            got = index.update(k, k + 2)
+            assert got == expect, f"op#{i} update({k})"
+            if expect:
+                model[k] = k + 2
+        elif op == "delete":
+            if not index.supports_delete:
+                continue
+            expect = k in model
+            got = index.delete(k)
+            assert got == expect, f"op#{i} delete({k})"
+            model.pop(k, None)
+        elif op == "scan":
+            if not index.supports_range:
+                continue
+            got = index.range_scan(k, 10)
+            expect = sorted((kk, vv) for kk, vv in model.items() if kk >= k)[:10]
+            assert got == expect, f"op#{i} scan({k})"
+    assert len(index) == len(model)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+def test_differential_vs_dict_model(name):
+    factory = ALL_FACTORIES[name]
+    for seed in (1, 2, 3):
+        index = factory()
+        rng = random.Random(seed * 100)
+        base = sorted(rng.sample(range(0, 4000, 2), 300))
+        model = {k: k + 1 for k in base}
+        index.bulk_load(sorted(model.items()))
+        ops = _op_stream(seed, n_ops=600, key_space=4000)
+        _replay(index, ops, model)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+def test_differential_dense_keyspace(name):
+    """Dense sequential key space: stresses node splits/chains heavily."""
+    factory = ALL_FACTORIES[name]
+    index = factory()
+    model = {k: k + 1 for k in range(0, 600, 3)}
+    index.bulk_load(sorted(model.items()))
+    ops = _op_stream(seed=9, n_ops=800, key_space=700)
+    _replay(index, ops, model)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_FACTORIES))
+def test_differential_huge_keys(name):
+    """Keys near 2^63: numeric-precision regressions show up here."""
+    factory = ALL_FACTORIES[name]
+    index = factory()
+    base = 2**62
+    rng = random.Random(17)
+    model = {base + rng.randrange(2**20): 7 for _ in range(200)}
+    index.bulk_load(sorted((k, 7) for k in model))
+    for i in range(300):
+        k = base + rng.randrange(2**20)
+        expect = k not in model
+        assert index.insert(k, i) == expect, k
+        model.setdefault(k, i)
+    for k in list(model)[::11]:
+        assert index.lookup(k) == model[k]
+
+
+@given(st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=25, deadline=None)
+def test_property_all_indexes_agree_on_lookup(seed):
+    """Same bulk data, same probe key: all indexes answer identically."""
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(10**6), 120))
+    items = [(k, k * 3) for k in keys]
+    probe = rng.randrange(10**6)
+    answers = set()
+    for name, factory in ALL_FACTORIES.items():
+        idx = factory()
+        idx.bulk_load(items)
+        answers.add(idx.lookup(probe))
+    assert len(answers) == 1, f"divergent lookup({probe}): {answers}"

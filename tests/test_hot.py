@@ -1,0 +1,56 @@
+"""HOT: contract conformance plus trie-specific behaviour."""
+
+from repro.indexes.hot import HOT, _bit
+from tests.index_contract import IndexContract
+
+
+class TestHOTContract(IndexContract):
+    def make(self) -> HOT:
+        return HOT()
+
+
+def test_bit_extraction_msb_first():
+    assert _bit(1 << 63, 0) == 1
+    assert _bit(1, 63) == 1
+    assert _bit(1, 0) == 0
+
+
+def test_compound_height_is_low():
+    idx = HOT()
+    idx.bulk_load([(i * 1000003 % (2**40), i) for i in range(1)])
+    idx = HOT()
+    items = sorted({(i * 1000003) % (2**40) for i in range(5000)})
+    idx.bulk_load([(k, k) for k in items])
+    # ~13 binary levels for 5k keys -> <= 4 compounds.
+    assert idx.compound_height <= 5
+
+
+def test_memory_smaller_than_btree():
+    """Figure 8: HOT is the most space-efficient index."""
+    from repro.indexes.btree import BPlusTree
+
+    import random
+
+    rng = random.Random(5)
+    keys = sorted({rng.randrange(2**48) for _ in range(4000)})
+    items = [(k, k) for k in keys]
+    hot = HOT()
+    hot.bulk_load(items)
+    bt = BPlusTree(fanout=32)
+    bt.bulk_load(items)
+    assert hot.memory_usage().total < bt.memory_usage().total
+
+
+def test_no_delete_support():
+    idx = HOT()
+    assert not idx.supports_delete
+
+
+def test_insert_maintains_crit_bit_order():
+    idx = HOT()
+    idx.bulk_load([])
+    keys = [0b1010, 0b1000, 0b1111, 0b0001, 0b0101]
+    for k in keys:
+        idx.insert(k, k)
+    got = idx.range_scan(0, 10)
+    assert [k for k, _ in got] == sorted(keys)

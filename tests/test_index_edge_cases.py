@@ -1,0 +1,191 @@
+"""Adversarial and failure-injection scenarios for the index roster.
+
+The contract suite covers common behaviour; these tests throw the
+pathological data and operation patterns that have historically broken
+learned indexes (and did break early versions of these implementations:
+precision livelocks, placement overflow, chain blowups).
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    ALEX,
+    ART,
+    BPlusTree,
+    FINEdex,
+    HOT,
+    LIPP,
+    Masstree,
+    PGMIndex,
+    Wormhole,
+    XIndex,
+)
+
+ALL = [ALEX, LIPP, PGMIndex, XIndex, FINEdex, BPlusTree, ART, HOT, Masstree, Wormhole]
+
+
+@pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+def test_dense_cluster_of_huge_keys(factory):
+    """Keys 2 apart near 2^63: float64-precision regression guard
+    (this exact pattern livelocked LIPP before model anchoring)."""
+    base = 2**62 + 3
+    items = [(base + 2 * i, i) for i in range(400)]
+    idx = factory()
+    idx.bulk_load(items)
+    for k, v in items[::17]:
+        assert idx.lookup(k) == v
+    for i in range(200):
+        assert idx.insert(base + 2 * 400 + 2 * i, i)
+    assert idx.lookup(base + 2 * 400) == 0
+
+
+@pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+def test_extreme_outlier_keys(factory):
+    """fb-style: a tight cluster plus keys at the far end of u64."""
+    items = sorted(
+        {k: 1 for k in list(range(1000, 1500)) + [2**63 - 1, 2**63 - 2, 2**62]}.items()
+    )
+    idx = factory()
+    idx.bulk_load(items)
+    assert idx.lookup(2**63 - 1) == 1
+    assert idx.lookup(1250) == 1
+    assert idx.insert(2**61, 7)
+    assert idx.lookup(2**61) == 7
+
+
+@pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+def test_sawtooth_insert_pattern(factory):
+    """Alternating low/high inserts: worst case for append heuristics."""
+    idx = factory()
+    idx.bulk_load([(500_000, 0)])
+    lo, hi = 0, 1_000_000
+    for i in range(400):
+        assert idx.insert(lo, i)
+        assert idx.insert(hi, i)
+        lo += 7
+        hi -= 7
+    assert len(idx) == 801
+    assert idx.lookup(0) == 0
+    assert idx.lookup(1_000_000) == 0
+
+
+@pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+def test_repeated_duplicate_insert_attempts(factory):
+    """Hammering the same key must neither grow the index nor crash."""
+    if factory is PGMIndex:
+        # Upstream PGM upserts blindly; use the strict variant here.
+        idx = PGMIndex(check_duplicates=True)
+    else:
+        idx = factory()
+    idx.bulk_load([(42, 1), (99, 2)])
+    for _ in range(200):
+        assert not idx.insert(42, 999)
+    assert len(idx) == 2
+    assert idx.lookup(42) == 1
+
+
+@pytest.mark.parametrize("factory", [ALEX, LIPP, BPlusTree, ART],
+                         ids=lambda f: f.name)
+def test_delete_insert_churn_same_keyspace(factory):
+    """Churn: delete and re-insert the same keys many times (SMO storm)."""
+    keys = list(range(0, 2000, 2))
+    idx = factory()
+    idx.bulk_load([(k, 0) for k in keys])
+    rng = random.Random(3)
+    live = set(keys)
+    for round_ in range(6):
+        doomed = rng.sample(sorted(live), 300)
+        for k in doomed:
+            assert idx.delete(k)
+            live.discard(k)
+        for k in doomed:
+            assert idx.insert(k, round_)
+            live.add(k)
+    assert len(idx) == len(live)
+    for k in rng.sample(sorted(live), 50):
+        assert idx.lookup(k) is not None
+
+
+@pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+def test_bulk_reload_replaces_contents(factory):
+    """bulk_load on a used index must fully reset it."""
+    idx = factory()
+    idx.bulk_load([(i, i) for i in range(100)])
+    idx.insert(1_000_001, 1)
+    idx.bulk_load([(i * 10 + 5, i) for i in range(50)])
+    assert len(idx) == 50
+    assert idx.lookup(1_000_001) is None
+    assert idx.lookup(5) == 0
+
+
+@pytest.mark.parametrize("factory", ALL, ids=lambda f: f.name)
+def test_interleaved_mixed_ops_never_corrupt_order(factory):
+    """Scans must stay sorted through arbitrary op interleavings."""
+    idx = factory()
+    rng = random.Random(11)
+    model = {}
+    idx.bulk_load([])
+    for i in range(800):
+        k = rng.randrange(100_000)
+        if rng.random() < 0.7:
+            if idx.insert(k, i):
+                model[k] = i
+        else:
+            idx.lookup(k)
+        if i % 97 == 0 and idx.supports_range:
+            scan = idx.range_scan(0, len(model) + 10)
+            keys = [kk for kk, _ in scan]
+            assert keys == sorted(keys)
+            assert len(keys) == len(model)
+
+
+def test_alex_survives_all_keys_in_one_slot():
+    """All keys identical modulo the model's resolution."""
+    idx = ALEX(target_leaf_keys=32, max_data_keys=128)
+    idx.bulk_load([])
+    base = 2**55
+    for i in range(600):
+        assert idx.insert(base + i, i)
+    assert idx.lookup(base + 599) == 599
+
+
+def test_lipp_depth_bounded_under_adversarial_chaining():
+    idx = LIPP()
+    idx.bulk_load([(0, 0), (2**62, 1)])
+    # Binary-search-like insert order maximizes chain depth pressure.
+    def bisect_insert(lo, hi, depth):
+        if depth == 0 or hi - lo < 2:
+            return
+        mid = (lo + hi) // 2
+        idx.insert(mid, depth)
+        bisect_insert(lo, mid, depth - 1)
+        bisect_insert(mid, hi, depth - 1)
+
+    bisect_insert(0, 2**62, 10)
+    assert idx.max_depth() <= idx._depth_limit() + 2
+
+
+def test_pgm_many_merge_cascades():
+    idx = PGMIndex(buffer_size=8)
+    idx.bulk_load([])
+    for i in range(2000):
+        idx.insert(i * 3, i)
+    assert idx.merge_count > 100
+    assert idx.lookup(3 * 1999) == 1999
+    # Runs stay geometric: no more than log2(n/buffer)+2 live runs.
+    live = [s for s in idx.run_sizes() if s]
+    assert len(live) <= 11
+
+
+def test_xindex_group_split_cascade():
+    idx = XIndex(delta_size=8, target_group_keys=64, max_models_per_group=2)
+    rng = random.Random(13)
+    keys = sorted(rng.sample(range(2**40), 500))
+    idx.bulk_load([(k, k) for k in keys[:100]])
+    for k in keys[100:]:
+        idx.insert(k, k)
+    assert idx.group_count() >= 1
+    for k in keys[::29]:
+        assert idx.lookup(k) == k

@@ -1,0 +1,55 @@
+"""The numpy fast path must match the pure-Python fit exactly enough."""
+
+import random
+
+import pytest
+
+import repro.indexes.linear_model as lm
+from repro.indexes.linear_model import LinearModel
+
+
+def _python_train(keys, positions=None):
+    """Force the pure-Python path by lowering the threshold."""
+    old = lm._NUMPY_MIN_N
+    lm._NUMPY_MIN_N = 10**12
+    try:
+        return LinearModel.train(keys, positions)
+    finally:
+        lm._NUMPY_MIN_N = old
+
+
+@pytest.mark.skipif(lm._np is None, reason="numpy unavailable")
+def test_fast_path_matches_python_path():
+    rng = random.Random(1)
+    keys = sorted(rng.sample(range(2**40), 2000))
+    fast = LinearModel.train(keys)
+    slow = _python_train(keys)
+    assert fast.anchor == slow.anchor
+    assert fast.slope == pytest.approx(slow.slope, rel=1e-9)
+    assert fast.intercept == pytest.approx(slow.intercept, rel=1e-6, abs=1e-6)
+
+
+@pytest.mark.skipif(lm._np is None, reason="numpy unavailable")
+def test_fast_path_with_custom_positions():
+    rng = random.Random(2)
+    keys = sorted(rng.sample(range(10**9), 1500))
+    positions = [i * 2.0 for i in range(len(keys))]
+    fast = LinearModel.train(keys, positions)
+    slow = _python_train(keys, positions)
+    assert fast.slope == pytest.approx(slow.slope, rel=1e-9)
+
+
+@pytest.mark.skipif(lm._np is None, reason="numpy unavailable")
+def test_huge_span_falls_back_to_python():
+    """Key spans beyond float64's exact-integer range use pure Python."""
+    base = 2**60
+    keys = sorted(base + i * 2**53 for i in range(400))  # span >> 2^52
+    m = LinearModel.train(keys)
+    for i in (0, 200, 399):
+        assert abs(m.predict(keys[i]) - i) < 2.0
+
+
+def test_small_fits_stay_python():
+    # No numpy requirement: n < threshold always works.
+    m = LinearModel.train(list(range(10)))
+    assert m.slope == pytest.approx(1.0)

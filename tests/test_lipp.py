@@ -1,0 +1,118 @@
+"""LIPP: contract conformance plus collision-chaining behaviour."""
+
+import random
+
+from repro.indexes.lipp import LIPP, _CHILD, _DATA
+from tests.index_contract import IndexContract
+
+
+class TestLIPPContract(IndexContract):
+    def make(self) -> LIPP:
+        return LIPP()
+
+
+def _uniform_items(n, seed=0):
+    rng = random.Random(seed)
+    keys = sorted({rng.randrange(2**40) for _ in range(n)})
+    return [(k, k) for k in keys]
+
+
+def test_collision_creates_at_most_one_node():
+    """Message 5: write amplification bounded at one node per collision."""
+    idx = LIPP()
+    idx.bulk_load(_uniform_items(1000, seed=1))
+    rng = random.Random(2)
+    for _ in range(500):
+        idx.insert(rng.randrange(2**40), 0)
+        assert idx.last_op.keys_shifted == 0  # LIPP never shifts keys
+        assert idx.last_op.nodes_created <= 1
+
+
+def test_stats_updated_on_every_path_node():
+    """The per-path stats writes that ruin LIPP+ scaling."""
+    idx = LIPP(min_rebuild_size=10**9)  # disable rebuilds for this test
+    idx.bulk_load(_uniform_items(2000, seed=3))
+    root_inserts_before = idx._root.num_inserts
+    rng = random.Random(4)
+    for _ in range(100):
+        idx.insert(rng.randrange(2**40), 0)
+    assert idx._root.num_inserts == root_inserts_before + 100
+
+
+def test_rebuild_bounds_depth():
+    idx = LIPP()
+    # Adversarial: clustered inserts that collide repeatedly.
+    idx.bulk_load([(i * 2**20, i) for i in range(64)])
+    for i in range(4000):
+        idx.insert(i * 3 + 1, i)
+    assert idx.rebuild_count > 0
+    assert idx.max_depth() <= 12
+    for i in range(0, 4000, 97):
+        assert idx.lookup(i * 3 + 1) == i
+
+
+def test_no_last_mile_search():
+    """Lookups compute positions: no search distance, ever."""
+    idx = LIPP()
+    items = _uniform_items(3000, seed=5)
+    idx.bulk_load(items)
+    for k, v in items[::100]:
+        assert idx.lookup(k) == v
+        assert idx.last_op.search_distance == 0
+
+
+def test_delete_collapses_single_entry_chains():
+    idx = LIPP()
+    idx.bulk_load([(10, 1), (20, 2)])
+    # Force a collision chain.
+    base_nodes = idx.node_count()
+    rng = random.Random(6)
+    inserted = []
+    while idx.node_count() == base_nodes:
+        k = rng.randrange(2**40)
+        if idx.insert(k, 0):
+            inserted.append(k)
+    # Delete inserted keys; chains should collapse away eventually.
+    for k in inserted:
+        idx.delete(k)
+    assert idx.lookup(10) == 1 and idx.lookup(20) == 2
+
+
+def test_memory_larger_than_alex():
+    """Figure 8: LIPP trades space for speed."""
+    from repro.indexes.alex import ALEX
+
+    items = _uniform_items(2000, seed=7)
+    more = _uniform_items(4500, seed=8)[2000:4000]
+    lipp = LIPP()
+    lipp.bulk_load(items)
+    alex = ALEX()
+    alex.bulk_load(items)
+    for k, _ in more:
+        lipp.insert(k, 0)
+        alex.insert(k, 0)
+    assert lipp.memory_usage().total > alex.memory_usage().total
+
+
+def test_unified_node_holds_data_and_children():
+    idx = LIPP()
+    idx.bulk_load(_uniform_items(500, seed=9))
+    rng = random.Random(10)
+    for _ in range(500):
+        idx.insert(rng.randrange(2**40), 0)
+    root = idx._root
+    tags = set(root.tags)
+    assert _DATA in tags and _CHILD in tags
+
+
+def test_scan_interleaves_chains_in_order():
+    idx = LIPP()
+    idx.bulk_load(_uniform_items(300, seed=11))
+    rng = random.Random(12)
+    extra = sorted({rng.randrange(2**40) for _ in range(300)})
+    for k in extra:
+        idx.insert(k, k)
+    got = idx.range_scan(0, 10**6)
+    keys = [k for k, _ in got]
+    assert keys == sorted(keys)
+    assert len(keys) == len(idx)

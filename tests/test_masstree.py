@@ -1,0 +1,41 @@
+"""Masstree: contract conformance plus permutation-node behaviour."""
+
+from repro.indexes.masstree import Masstree, _FANOUT
+from tests.index_contract import IndexContract
+
+
+class TestMasstreeContract(IndexContract):
+    def make(self) -> Masstree:
+        return Masstree()
+
+
+def test_border_nodes_append_only():
+    """Inserts append physically; the permutation provides order."""
+    idx = Masstree()
+    idx.bulk_load([])
+    for k in (50, 10, 30, 20, 40):
+        idx.insert(k, k)
+    # All in one border node; physical order is arrival order.
+    border = idx._root
+    assert border.keys == [50, 10, 30, 20, 40]
+    assert border.sorted_items() == [(10, 10), (20, 20), (30, 30), (40, 40), (50, 50)]
+
+
+def test_insert_shifts_one_key_only():
+    """The Masstree write path never shifts data slots."""
+    idx = Masstree()
+    idx.bulk_load([(i * 2, i) for i in range(10)])
+    idx.insert(5, 99)
+    assert idx.last_op.keys_shifted == 1
+
+
+def test_fanout_limit_forces_splits():
+    idx = Masstree()
+    idx.bulk_load([])
+    for k in range(_FANOUT * 4):
+        idx.insert(k, k)
+    assert idx.range_scan(0, 100) == [(k, k) for k in range(_FANOUT * 4)]
+
+
+def test_no_delete_support():
+    assert not Masstree().supports_delete

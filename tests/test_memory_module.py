@@ -1,0 +1,69 @@
+"""End-to-end memory measurement helpers (Section 5)."""
+
+import pytest
+
+from repro import ALEX, ART, BPlusTree, HOT, LIPP, PGMIndex
+from repro.core.memory import MemoryReport, measure_after_write_only, space_saving_ratio
+from repro.indexes.base import MemoryBreakdown
+
+KEYS = list(range(0, 30000, 6))
+
+
+def test_measure_protocol_inserts_all_keys():
+    report = measure_after_write_only(BPlusTree, KEYS)
+    assert report.n_keys == len(KEYS)
+    assert report.breakdown.total > 0
+
+
+def test_bytes_per_key_positive():
+    report = measure_after_write_only(ALEX, KEYS)
+    assert 8 < report.bytes_per_key < 500
+
+
+def test_inner_fraction_bounds():
+    for factory in (ALEX, ART, BPlusTree):
+        report = measure_after_write_only(factory, KEYS)
+        assert 0.0 <= report.inner_fraction <= 1.0, factory
+
+
+def test_space_saving_ratio_matches_definition():
+    reports = {
+        "L1": MemoryReport("L1", 10, MemoryBreakdown(leaf=100)),
+        "L2": MemoryReport("L2", 10, MemoryBreakdown(leaf=400)),
+        "T1": MemoryReport("T1", 10, MemoryBreakdown(leaf=250)),
+        "T2": MemoryReport("T2", 10, MemoryBreakdown(leaf=320)),
+    }
+    # largest traditional (320) / smallest learned (100)
+    assert space_saving_ratio(reports, ["L1", "L2"], ["T1", "T2"]) == 3.2
+
+
+def test_memory_breakdown_total():
+    b = MemoryBreakdown(inner=10, leaf=20, metadata=5)
+    assert b.total == 35
+
+
+def test_report_zero_keys_safe():
+    r = MemoryReport("x", 0, MemoryBreakdown())
+    assert r.bytes_per_key == 0.0
+    assert r.inner_fraction == 0.0
+
+
+def test_lipp_memory_grows_with_conflict_chains():
+    """Chained nodes must show up in the end-to-end number."""
+    import random
+
+    keys = sorted(random.Random(5).sample(range(2**32), 3000))
+    idx = LIPP()
+    idx.bulk_load([(k, k) for k in keys[:1500]])
+    before = idx.memory_usage().total
+    for k in keys[1500:]:
+        idx.insert(k, k)
+    after = idx.memory_usage().total
+    assert after > before
+
+
+def test_hot_memory_excludes_external_records():
+    """HOT indexes tuple pointers: far below key+payload storage."""
+    idx = HOT()
+    idx.bulk_load([(i * 7, i) for i in range(5000)])
+    assert idx.memory_usage().total < 5000 * 16

@@ -1,0 +1,90 @@
+"""PGM size-tiered merge policy (ablation backend)."""
+
+import random
+
+import pytest
+
+from repro.indexes.pgm import PGMIndex
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        PGMIndex(merge_policy="leveled")
+    with pytest.raises(ValueError):
+        PGMIndex(merge_policy="tiered", tier_fanout=1)
+
+
+def _fill(policy, n=3000, buffer_size=32, **kw):
+    idx = PGMIndex(buffer_size=buffer_size, merge_policy=policy, **kw)
+    idx.bulk_load([])
+    for i in range(n):
+        idx.insert(i * 7, i)
+    return idx
+
+
+def test_tiered_correctness_mixed_ops():
+    idx = _fill("tiered")
+    for i in range(0, 3000, 97):
+        assert idx.lookup(i * 7) == i
+    assert idx.lookup(5) is None
+    got = idx.range_scan(0, 50)
+    assert [k for k, _ in got] == [i * 7 for i in range(50)]
+
+
+def test_tiered_allows_multiple_similar_runs():
+    idx = _fill("tiered", tier_fanout=4)
+    live = [s for s in idx.run_sizes() if s]
+    assert len(live) >= 2  # several coexisting runs, unlike logarithmic
+    total = sum(live) + len(idx._buffer)
+    assert total == 3000
+
+
+def test_tiered_bounds_run_count():
+    idx = _fill("tiered", n=6000, tier_fanout=3)
+    live = [s for s in idx.run_sizes() if s]
+    # Size-tiered with fanout 3: at most ~3 runs per ~4x size band.
+    assert len(live) <= 3 * 10
+
+
+def test_tiered_shadowing_updates():
+    idx = PGMIndex(buffer_size=16, merge_policy="tiered", check_duplicates=True)
+    idx.bulk_load([(i, "old") for i in range(200)])
+    for i in range(200):
+        idx.update(i, f"new{i}")
+    # Force enough flushes that merges definitely happened.
+    for i in range(1000, 1400):
+        idx.insert(i, 0)
+    for i in range(0, 200, 13):
+        assert idx.lookup(i) == f"new{i}"
+
+
+def test_tiered_tombstones_respected():
+    idx = PGMIndex(buffer_size=16, merge_policy="tiered", check_duplicates=True)
+    idx.bulk_load([(i, i) for i in range(300)])
+    for i in range(0, 300, 2):
+        assert idx.delete(i)
+    for i in range(1000, 1200):
+        idx.insert(i, 0)  # trigger merges with tombstones in flight
+    for i in range(0, 300, 26):
+        assert idx.lookup(i) is None
+        assert idx.lookup(i + 1) == i + 1
+
+
+def test_tiered_writes_cheaper_than_logarithmic():
+    """The classic trade: tiering lowers write amplification."""
+    log = _fill("logarithmic", n=4000)
+    tier = _fill("tiered", n=4000)
+    from repro.core.cost import KEY_SHIFT
+
+    assert tier.meter.total_units(KEY_SHIFT) < log.meter.total_units(KEY_SHIFT)
+
+
+def test_tiered_lookups_probe_more_runs():
+    log = _fill("logarithmic", n=4000)
+    tier = _fill("tiered", n=4000)
+    rng = random.Random(1)
+    for idx in (log, tier):
+        idx.meter.reset()
+        for _ in range(500):
+            idx.lookup(rng.randrange(4000) * 7)
+    assert tier.meter.total_time() > log.meter.total_time() * 0.9

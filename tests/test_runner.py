@@ -1,0 +1,94 @@
+"""Benchmark runner and report helpers."""
+
+import pytest
+
+from repro.core.report import bar, format_bytes, format_number, series, table
+from repro.core.runner import LatencyStats, best_throughput, execute
+from repro.core.workloads import deletion_workload, mixed_workload, scan_workload
+from repro.indexes.alex import ALEX
+from repro.indexes.btree import BPlusTree
+
+KEYS = list(range(0, 20000, 4))
+
+
+def test_execute_read_only():
+    r = execute(BPlusTree(), mixed_workload(KEYS, 0.0, n_ops=500, seed=1))
+    assert r.n_ops == 500
+    assert r.virtual_ns > 0
+    assert r.throughput_mops > 0
+    assert r.lookup_latency.count > 0
+    assert r.write_latency.count == 0
+    assert r.memory.total > 0
+
+
+def test_execute_counts_insert_stats():
+    r = execute(ALEX(), mixed_workload(KEYS, 1.0, seed=2))
+    assert r.insert_stats.inserts == len(KEYS) - len(KEYS) // 2
+    avgs = r.insert_stats.averages()
+    assert avgs["nodes_traversed"] >= 1
+
+
+def test_execute_excludes_bulk_load_cost():
+    wl = mixed_workload(KEYS, 0.0, n_ops=10, seed=3)
+    r = execute(BPlusTree(), wl)
+    # 10 lookups should cost microseconds, not the bulk-load millions.
+    assert r.virtual_ns < 100_000
+
+
+def test_execute_scan_workload():
+    r = execute(BPlusTree(), scan_workload(KEYS, scan_size=20, n_scans=50, seed=4))
+    assert r.scanned_entries == 20 * 50
+    assert r.scan_keys_per_second > 0
+
+
+def test_execute_delete_workload():
+    r = execute(BPlusTree(), deletion_workload(KEYS, 0.5, n_ops=1000, seed=5))
+    assert r.n_ops == 1000
+    assert r.write_latency.count > 0
+
+
+def test_latency_stats_percentiles():
+    s = LatencyStats.from_samples(list(map(float, range(1, 1001))))
+    assert s.p50 == pytest.approx(501, abs=2)
+    assert s.p99 == pytest.approx(991, abs=2)
+    assert s.p999 >= s.p99 >= s.p50
+    assert s.max == 1000
+
+
+def test_latency_stats_empty():
+    s = LatencyStats.from_samples([])
+    assert s.count == 0 and s.p999 == 0
+
+
+def test_best_throughput():
+    wl = mixed_workload(KEYS, 0.0, n_ops=200, seed=6)
+    results = [execute(BPlusTree(fanout=8), wl), execute(ALEX(), wl)]
+    winner = best_throughput(results)
+    assert winner.throughput_mops == max(r.throughput_mops for r in results)
+    with pytest.raises(ValueError):
+        best_throughput([])
+
+
+def test_report_table_and_series():
+    t = table(["a", "bb"], [[1, 2.5], ["x", 0.001]], title="T")
+    assert "a" in t and "bb" in t and "0.001" in t
+    s = series("thr", [1, 2], [3.0, 4.0])
+    assert s.startswith("thr:") and "(1, 3.00)" in s
+
+
+def test_format_bytes():
+    assert format_bytes(512) == "512.0B"
+    assert format_bytes(2048) == "2.0KB"
+    assert "MB" in format_bytes(5 * 1024 * 1024)
+
+
+def test_bar_rendering():
+    assert bar(5, 10, width=10).count("#") == 5
+    assert bar(20, 10, width=10).count("#") == 10
+    assert bar(1, 0) == ""
+
+
+def test_format_number():
+    assert format_number(3.14159) == "3.14"
+    assert format_number(12345.6) == "1.23e+04"
+    assert format_number(7) == "7"

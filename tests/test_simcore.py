@@ -1,0 +1,117 @@
+"""Discrete-event simulator mechanics (beyond the shape tests)."""
+
+import pytest
+
+from repro.concurrency.simcore import MulticoreSimulator, Topology
+from repro.concurrency.trace import ATOMIC_BASE_NS, ATOMIC_PINGPONG_NS, OpTrace
+
+
+def _traces(n, **kwargs):
+    return [OpTrace(op="lookup", **kwargs) for _ in range(n)]
+
+
+def test_replay_deterministic():
+    sim = MulticoreSimulator(Topology())
+    traces = _traces(500, free_ns=100.0)
+    a = sim.replay("x", traces, threads=8)
+    b = sim.replay("x", traces, threads=8)
+    assert a.makespan_ns == b.makespan_ns
+
+
+def test_independent_work_scales_linearly():
+    sim = MulticoreSimulator(Topology())
+    traces = _traces(2400, free_ns=100.0)
+    t1 = sim.replay("x", traces, threads=1)
+    t24 = sim.replay("x", traces, threads=24)
+    assert t24.throughput_mops == pytest.approx(24 * t1.throughput_mops, rel=0.01)
+
+
+def test_exclusive_resource_serializes():
+    sim = MulticoreSimulator(Topology())
+    traces = [OpTrace(op="insert", sections=[("L", 100.0)]) for _ in range(1000)]
+    t1 = sim.replay("x", traces, threads=1)
+    t24 = sim.replay("x", traces, threads=24)
+    # All ops hold the same lock: no speedup possible.
+    assert t24.makespan_ns >= 0.95 * t1.makespan_ns
+    assert t24.lock_wait_ns > 0
+
+
+def test_disjoint_locks_do_not_serialize():
+    sim = MulticoreSimulator(Topology())
+    traces = [OpTrace(op="insert", sections=[(i % 64, 100.0)]) for i in range(1024)]
+    t16 = sim.replay("x", traces, threads=16)
+    t1 = sim.replay("x", traces, threads=1)
+    assert t16.throughput_mops > 8 * t1.throughput_mops
+
+
+def test_atomic_pingpong_grows_with_sharers():
+    sim = MulticoreSimulator(Topology())
+    traces = [OpTrace(op="insert", free_ns=10.0, atomics=["root"]) for _ in range(960)]
+    r1 = sim.replay("x", traces, threads=1)
+    r24 = sim.replay("x", traces, threads=24)
+    per_op_1 = r1.atomic_ns / 960
+    per_op_24 = r24.atomic_ns / 960
+    assert per_op_1 == pytest.approx(ATOMIC_BASE_NS)
+    assert per_op_24 > ATOMIC_BASE_NS + 20 * ATOMIC_PINGPONG_NS * 0.8
+
+
+def test_hyperthreads_slower_than_cores():
+    topo = Topology()
+    sim = MulticoreSimulator(topo)
+    traces = _traces(4800, free_ns=100.0)
+    t24 = sim.replay("x", traces, threads=24)
+    t48 = sim.replay("x", traces, threads=48)
+    gain = t48.throughput_mops / t24.throughput_mops
+    # 24 HT threads at smt_speed=0.4 add ~40%, far from 2x.
+    assert 1.1 < gain < 1.6
+
+
+def test_bandwidth_ceiling_stretches_run():
+    topo = Topology(socket_bandwidth=1e9)  # tiny capacity
+    sim = MulticoreSimulator(topo)
+    traces = [OpTrace(op="lookup", free_ns=10.0, bytes=1000.0) for _ in range(2000)]
+    r = sim.replay("x", traces, threads=24)
+    assert r.bandwidth_limited
+    demand_gb = r.bytes_total / r.makespan_ns  # bytes per ns = GB/s
+    assert demand_gb * 1e9 <= topo.bandwidth_capacity() * 1.01
+
+
+def test_remote_latency_inflates_mem_bound_work():
+    traces = [OpTrace(op="lookup", free_ns=100.0, mem_fraction=1.0)
+              for _ in range(1000)]
+    local = MulticoreSimulator(Topology(sockets=1)).replay("x", traces, 8)
+    numa = MulticoreSimulator(Topology(sockets=4)).replay("x", traces, 8)
+    assert numa.makespan_ns > 1.2 * local.makespan_ns
+
+
+def test_cpu_bound_work_ignores_numa_latency():
+    traces = [OpTrace(op="lookup", free_ns=100.0, mem_fraction=0.0)
+              for _ in range(1000)]
+    local = MulticoreSimulator(Topology(sockets=1)).replay("x", traces, 8)
+    numa = MulticoreSimulator(Topology(sockets=4)).replay("x", traces, 8)
+    assert numa.makespan_ns == pytest.approx(local.makespan_ns, rel=0.01)
+
+
+def test_latency_sampling_respects_op_kind():
+    sim = MulticoreSimulator(Topology())
+    traces = [OpTrace(op="lookup", free_ns=50.0),
+              OpTrace(op="insert", free_ns=70.0)] * 50
+    r = sim.replay("x", traces, threads=2, sample_every=1)
+    assert len(r.lookup_latencies) == 50
+    assert len(r.write_latencies) == 50
+    assert max(r.lookup_latencies) < max(r.write_latencies)
+
+
+def test_sections_acquired_in_order():
+    """Two sections on one op: total time covers both holds."""
+    sim = MulticoreSimulator(Topology())
+    traces = [OpTrace(op="insert", sections=[("a", 40.0), ("b", 60.0)])]
+    r = sim.replay("x", traces, threads=1, sample_every=1)
+    assert r.write_latencies[0] == pytest.approx(100.0)
+
+
+def test_empty_trace_list():
+    sim = MulticoreSimulator(Topology())
+    r = sim.replay("x", [], threads=4)
+    assert r.n_ops == 0
+    assert r.throughput_mops == 0.0

@@ -1,0 +1,85 @@
+"""Hypothesis stateful testing: arbitrary op sequences vs a model.
+
+A RuleBasedStateMachine drives an index through random interleavings of
+bulk loads, inserts, updates, deletes, lookups and scans, checking
+against a dict model after every step.  Hypothesis shrinks any failure
+to a minimal reproducing sequence.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro import ALEX, BPlusTree, LIPP
+
+_KEY = st.integers(min_value=0, max_value=2**20)
+
+
+class IndexMachine(RuleBasedStateMachine):
+    factory = staticmethod(BPlusTree)
+
+    @initialize(keys=st.sets(_KEY, max_size=60))
+    def load(self, keys):
+        self.index = self.factory()
+        self.model = {k: k ^ 1 for k in keys}
+        self.index.bulk_load(sorted(self.model.items()))
+
+    @rule(k=_KEY)
+    def insert(self, k):
+        expect = k not in self.model
+        assert self.index.insert(k, k ^ 1) == expect
+        self.model.setdefault(k, k ^ 1)
+
+    @rule(k=_KEY)
+    def lookup(self, k):
+        assert self.index.lookup(k) == self.model.get(k)
+
+    @rule(k=_KEY, v=st.integers(min_value=0, max_value=2**30))
+    def update(self, k, v):
+        expect = k in self.model
+        assert self.index.update(k, v) == expect
+        if expect:
+            self.model[k] = v
+
+    @rule(k=_KEY)
+    def delete(self, k):
+        if not self.index.supports_delete:
+            return
+        expect = k in self.model
+        assert self.index.delete(k) == expect
+        self.model.pop(k, None)
+
+    @rule(start=_KEY, count=st.integers(min_value=1, max_value=12))
+    def scan(self, start, count):
+        got = self.index.range_scan(start, count)
+        expect = sorted(
+            (k, v) for k, v in self.model.items() if k >= start
+        )[:count]
+        assert got == expect
+
+    @invariant()
+    def size_matches(self):
+        if hasattr(self, "index"):
+            assert len(self.index) == len(self.model)
+
+
+class BPlusTreeMachine(IndexMachine):
+    factory = staticmethod(lambda: BPlusTree(fanout=4))
+
+
+class ALEXMachine(IndexMachine):
+    factory = staticmethod(lambda: ALEX(target_leaf_keys=16, max_data_keys=64))
+
+
+class LIPPMachine(IndexMachine):
+    factory = staticmethod(lambda: LIPP(min_rebuild_size=16))
+
+
+_settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+
+TestBPlusTreeStateful = BPlusTreeMachine.TestCase
+TestBPlusTreeStateful.settings = _settings
+TestALEXStateful = ALEXMachine.TestCase
+TestALEXStateful.settings = _settings
+TestLIPPStateful = LIPPMachine.TestCase
+TestLIPPStateful.settings = _settings

@@ -1,0 +1,47 @@
+"""Wormhole: contract conformance plus leaf-list behaviour."""
+
+from repro.core.cost import HASH
+from repro.indexes.wormhole import Wormhole, _LEAF_CAPACITY
+from tests.index_contract import IndexContract
+
+
+class TestWormholeContract(IndexContract):
+    def make(self) -> Wormhole:
+        return Wormhole()
+
+
+def test_lookup_cost_independent_of_size():
+    """MetaTrieHT: O(log L) hash probes regardless of N."""
+    small = Wormhole()
+    small.bulk_load([(i, i) for i in range(100)])
+    big = Wormhole()
+    big.bulk_load([(i, i) for i in range(10000)])
+    small.lookup(50)
+    big.lookup(5000)
+    h_small = small.meter.total_units(HASH)
+    h_big = big.meter.total_units(HASH)
+    # Same probes per lookup (bulk load charges none per-op here).
+    assert h_big - h_small <= 3
+
+
+def test_leaf_splits_register_new_anchor():
+    idx = Wormhole()
+    idx.bulk_load([])
+    before = idx.leaf_count
+    for k in range(_LEAF_CAPACITY * 3):
+        idx.insert(k, k)
+    assert idx.leaf_count > before
+    # Every leaf's anchor bounds its keys.
+    for leaf in idx._leaves:
+        assert all(k >= leaf.anchor for k in leaf.keys)
+
+
+def test_scan_follows_leaf_links():
+    idx = Wormhole()
+    idx.bulk_load([(i, i) for i in range(1000)])
+    got = idx.range_scan(497, 10)
+    assert [k for k, _ in got] == list(range(497, 507))
+
+
+def test_no_delete_support():
+    assert not Wormhole().supports_delete
