@@ -18,18 +18,9 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict
 
-from repro import (
-    ALEX,
-    ART,
-    BPlusTree,
-    FINEdex,
-    HOT,
-    LIPP,
-    PGMIndex,
-    XIndex,
-)
+from repro.core.registry import REGISTRY
 from repro.datasets import registry
 
 _SCALES = {
@@ -52,21 +43,15 @@ N_OPS = scale()["n_ops"]
 #: The ten datasets of the paper's heatmaps, easy → hard.
 HEATMAP_DATASETS = registry.heatmap_names()
 
-#: Single-threaded index families (Section 4.1).
-ST_LEARNED: Dict[str, Callable] = {
-    "ALEX": ALEX,
-    "LIPP": LIPP,
-    "XIndex": XIndex,
-    "FINEdex": FINEdex,
-}
-ST_TRADITIONAL: Dict[str, Callable] = {
-    "B+tree": BPlusTree,
-    "ART": ART,
-    "HOT": HOT,
-}
+#: Single-threaded index families (Section 4.1) — derived views over
+#: the capability registry (repro.core.registry).
+ST_LEARNED: Dict[str, Callable] = REGISTRY.factories(tag="heatmap", learned=True)
+ST_TRADITIONAL: Dict[str, Callable] = REGISTRY.factories(tag="heatmap", learned=False)
 #: PGM is reported separately (the paper excludes it from the heatmap:
 #: its LSM inserts would "win" 100%-write cells for non-learned reasons).
-ST_ALL: Dict[str, Callable] = {**ST_LEARNED, "PGM": PGMIndex, **ST_TRADITIONAL}
+ST_ALL: Dict[str, Callable] = {
+    **ST_LEARNED, "PGM": REGISTRY.get("PGM").factory, **ST_TRADITIONAL,
+}
 
 
 @lru_cache(maxsize=None)

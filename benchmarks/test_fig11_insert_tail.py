@@ -7,7 +7,7 @@ their p99.9); under 24 threads Wormhole's single inner-layer lock adds
 insert tail; ART/B+tree stay impeccable.
 """
 
-from common import N_OPS, dataset_keys, print_header, run_once
+from common import dataset_keys, print_header, run_once
 from repro.concurrency.adapters import (
     ALEXPlus,
     ARTOLC,

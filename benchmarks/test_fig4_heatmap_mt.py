@@ -7,7 +7,6 @@ claiming cells on write-intensive workloads.
 """
 
 from common import (
-    HEATMAP_DATASETS,
     N_OPS,
     dataset_keys,
     print_header,

@@ -11,7 +11,6 @@ from common import N_KEYS, N_OPS, print_header, run_once
 from repro import ALEX, execute
 from repro.core.report import table
 from repro.core.workloads import Operation, Workload, payload
-from repro.datasets import registry
 
 import random
 

@@ -25,7 +25,14 @@ from repro.core.hardness import (
     pla_hardness,
 )
 from repro.core.heatmap import Heatmap, compute_heatmap
-from repro.core.runner import RunResult, execute
+from repro.core.registry import REGISTRY, IndexRegistry, IndexSpec
+from repro.core.runner import (
+    ExecutionEngine,
+    ExecutionObserver,
+    OpEvent,
+    RunResult,
+    execute,
+)
 from repro.core.workloads import (
     Workload,
     deletion_workload,
@@ -48,27 +55,19 @@ from repro.indexes.rmi import RMI
 from repro.indexes.wormhole import Wormhole
 from repro.indexes.xindex import XIndex
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-#: Single-threaded index families as evaluated in Section 4.1.
-LEARNED_INDEXES = {
-    "ALEX": ALEX,
-    "LIPP": LIPP,
-    "PGM": PGMIndex,
-    "XIndex": XIndex,
-    "FINEdex": FINEdex,
-}
-
-TRADITIONAL_INDEXES = {
-    "B+tree": BPlusTree,
-    "ART": ART,
-    "HOT": HOT,
-}
+#: Single-threaded index families as evaluated in Section 4.1 — derived
+#: views over the capability registry (see repro.core.registry).
+LEARNED_INDEXES = REGISTRY.factories(tag="core", learned=True)
+TRADITIONAL_INDEXES = REGISTRY.factories(tag="core", learned=False)
 
 __all__ = [
     "ALEX", "ART", "BPlusTree", "FINEdex", "FITingTree", "HOT", "LIPP",
     "Masstree", "PGMIndex", "RMI", "Wormhole", "XIndex",
-    "CostMeter", "Heatmap", "MemoryBreakdown", "OrderedIndex", "RunResult",
+    "CostMeter", "ExecutionEngine", "ExecutionObserver", "Heatmap",
+    "IndexRegistry", "IndexSpec", "MemoryBreakdown", "OpEvent",
+    "OrderedIndex", "REGISTRY", "RunResult",
     "Workload", "compute_heatmap", "deletion_workload", "execute",
     "global_hardness", "local_hardness", "mixed_workload", "mse_hardness",
     "optimal_pla", "pla_hardness", "scan_workload", "shift_workload",

@@ -18,10 +18,11 @@ import argparse
 import sys
 from typing import Dict, List, Sequence
 
-from repro import LEARNED_INDEXES, TRADITIONAL_INDEXES, FITingTree, execute
+from repro import execute
 from repro.core.hardness import mse_hardness, pla_hardness
 from repro.core.heatmap import compute_heatmap
 from repro.core.memory import measure_after_write_only
+from repro.core.registry import REGISTRY
 from repro.core.report import ascii_chart, format_bytes, table
 from repro.core.workloads import (
     MIX_FRACTIONS,
@@ -34,7 +35,8 @@ from repro.core.workloads import (
 from repro.datasets import registry
 from repro.datasets.registry import scaled_epsilons
 
-_ALL_INDEXES = {**LEARNED_INDEXES, "FITing-Tree": FITingTree, **TRADITIONAL_INDEXES}
+#: Every index the CLI exposes — a derived view over the registry.
+_ALL_INDEXES = REGISTRY.factories(tag="cli")
 _MIX = dict(zip(MIX_NAMES, MIX_FRACTIONS))
 
 
@@ -85,10 +87,16 @@ def cmd_run(args) -> int:
     keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
     wl = _workload(args, keys)
     r = execute(factory(), wl)
+    if getattr(args, "out", None):
+        from repro.core.results import save_jsonl
+
+        save_jsonl([r], args.out, append=True)
     if getattr(args, "json", False):
         import json
 
-        print(json.dumps(r.to_dict(), indent=2))
+        from repro.core.results import result_record
+
+        print(json.dumps(result_record(r), indent=2))
         return 0
     rows = [
         ["throughput", f"{r.throughput_mops:.3f} Mops (virtual)"],
@@ -112,11 +120,17 @@ def cmd_compare(args) -> int:
     keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
     wl = _workload(args, keys)
     rows = []
+    results = []
     for name, factory in _ALL_INDEXES.items():
         r = execute(factory(), wl)
+        results.append(r)
         rows.append([name, f"{r.throughput_mops:.3f}",
                      f"{r.lookup_latency.p999:.0f}",
                      format_bytes(r.memory.total)])
+    if getattr(args, "out", None):
+        from repro.core.results import save_jsonl
+
+        save_jsonl(results, args.out, append=True)
     rows.sort(key=lambda row: -float(row[1]))
     print(table(["Index", "Mops", "lookup p99.9 ns", "memory"], rows,
                 title=f"All indexes on {args.dataset} / {wl.name}"))
@@ -132,8 +146,8 @@ def cmd_heatmap(args) -> int:
 
     hm = compute_heatmap(
         data, build, MIX_NAMES,
-        learned=dict(LEARNED_INDEXES),
-        traditional=dict(TRADITIONAL_INDEXES),
+        learned=REGISTRY.factories(tag="core", learned=True),
+        traditional=REGISTRY.factories(tag="core", learned=False),
     )
     print(hm.render())
     print(f"\nlearned-index win fraction: {hm.learned_win_fraction():.0%}")
@@ -178,7 +192,6 @@ def cmd_memory(args) -> int:
 
 def cmd_diagnose(args) -> int:
     from repro.core.diagnostics import diagnose
-    from repro.core.workloads import mixed_workload as _mw
 
     factory = _ALL_INDEXES.get(args.index)
     if factory is None:
@@ -236,9 +249,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help=f"one of {sorted(_ALL_INDEXES)}")
     sp.add_argument("--json", action="store_true",
                     help="machine-readable output")
+    sp.add_argument("--out", default="",
+                    help="append the versioned result record to this "
+                         "JSON-lines file (compare-runs input)")
     common(sp, workload=True)
 
     sp = sub.add_parser("compare", help="all indexes on one workload")
+    sp.add_argument("--out", default="",
+                    help="append every index's result record to this "
+                         "JSON-lines file (compare-runs input)")
     common(sp, workload=True)
 
     sp = sub.add_parser("heatmap", help="data x workload winner heatmap")

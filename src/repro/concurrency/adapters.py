@@ -37,7 +37,7 @@ FINEdex        one lock per record-level bin; segment retrains lock the
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable
 
 from repro.concurrency.trace import (
     OpTrace,
@@ -422,18 +422,32 @@ class PGMAdapter(ConcurrencyAdapter):
                 trace.sections.append(((self.name, "MERGE"), smo_ns))
 
 
-#: Adapter factories for the multi-threaded experiments (Section 4.2).
-MT_LEARNED: Dict[str, Callable[[], ConcurrencyAdapter]] = {
-    "ALEX+": ALEXPlus,
-    "LIPP+": LIPPPlus,
-    "XIndex": XIndexAdapter,
-    "FINEdex": FINEdexAdapter,
-}
+# Bind each concurrent variant to its base index's registry entry; the
+# MT_* catalogs below (and any future concurrent runner) are derived
+# views over the registry, not hand-maintained dicts.
+from repro.core.registry import REGISTRY  # noqa: E402  (after adapter defs)
 
-MT_TRADITIONAL: Dict[str, Callable[[], ConcurrencyAdapter]] = {
-    "ART-OLC": ARTOLC,
-    "B+TreeOLC": BTreeOLC,
-    "HOT-ROWEX": HOTROWEX,
-    "Masstree": MasstreeAdapter,
-    "Wormhole": WormholeAdapter,
-}
+for _base, _cname, _factory, _evaluated in (
+    ("ALEX", "ALEX+", ALEXPlus, True),
+    ("LIPP", "LIPP+", LIPPPlus, True),
+    ("XIndex", "XIndex", XIndexAdapter, True),
+    ("FINEdex", "FINEdex", FINEdexAdapter, True),
+    ("ART", "ART-OLC", ARTOLC, True),
+    ("B+tree", "B+TreeOLC", BTreeOLC, True),
+    ("HOT", "HOT-ROWEX", HOTROWEX, True),
+    ("Masstree", "Masstree", MasstreeAdapter, True),
+    ("Wormhole", "Wormhole", WormholeAdapter, True),
+    # Not evaluated concurrently by the paper (see PGMAdapter docstring).
+    ("PGM", "PGM", PGMAdapter, False),
+):
+    if REGISTRY.get(_base).concurrent_factory is None:
+        REGISTRY.bind_concurrent(_base, _cname, _factory, evaluated=_evaluated)
+
+#: Adapter factories for the multi-threaded experiments (Section 4.2).
+MT_LEARNED: Dict[str, Callable[[], ConcurrencyAdapter]] = (
+    REGISTRY.concurrent_factories(learned=True)
+)
+
+MT_TRADITIONAL: Dict[str, Callable[[], ConcurrencyAdapter]] = (
+    REGISTRY.concurrent_factories(learned=False)
+)

@@ -15,7 +15,7 @@ fall back to generic operation sampling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.report import table
 from repro.indexes.alex import ALEX
@@ -130,7 +130,6 @@ def _diagnose_lipp(index: LIPP, report: DiagnosticReport) -> None:
             "region — LIPP will spend traversal time there until the "
             "subtree rebuild triggers fire"
         )
-    n = max(len(index), 1)
     if report.metrics.get("bytes_per_key", 0) > 60:
         report.findings.append(
             f"{report.metrics['bytes_per_key']:.0f} B/key: LIPP's space-for-"

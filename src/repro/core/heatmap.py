@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.core.runner import RunResult, execute
+from repro.core.runner import execute
 from repro.core.workloads import Workload
 from repro.indexes.base import OrderedIndex
 

@@ -10,7 +10,7 @@ index including leaves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Sequence
 
 from repro.core.workloads import mixed_workload
 from repro.core.runner import execute

@@ -1,15 +1,17 @@
-"""Result persistence and regression comparison.
+"""Versioned result artifacts and regression comparison.
 
 A benchmarking suite is only useful if runs can be compared over time.
-This module appends :class:`~repro.core.runner.RunResult` summaries to
-a JSON-lines file and diffs two result sets::
+This module is the results artifact layer: every persisted record wraps
+:meth:`~repro.core.runner.RunResult.to_dict` with a ``schema_version``
+field so future readers can evolve the format without guessing::
 
-    store = ResultStore("results.jsonl")
-    store.append(result, tags={"commit": "abc123"})
-    ...
-    regressions = compare(old_results, new_results, threshold=0.10)
+    save_jsonl([result], "results.jsonl", tags={"commit": "abc123"})
+    records = load_jsonl("results.jsonl")
+    regressions = compare(old_records, new_records, threshold=0.10)
 
-The CLI and CI pipelines can gate on :func:`compare`'s output.
+The CLI (``run --out``, ``compare-runs``) and CI pipelines gate on
+:func:`compare`'s output.  :class:`ResultStore` remains the append-only
+store built on the same record format.
 """
 
 from __future__ import annotations
@@ -17,9 +19,71 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.runner import RunResult
+
+#: Version stamped into every persisted record.  Bump when the record
+#: layout changes incompatibly; ``load_jsonl`` rejects newer versions.
+SCHEMA_VERSION = 1
+
+
+def result_record(
+    result: Union[RunResult, dict],
+    tags: Optional[Dict[str, str]] = None,
+) -> dict:
+    """A persistable, versioned record for one run."""
+    record = dict(result.to_dict() if isinstance(result, RunResult) else result)
+    record["schema_version"] = SCHEMA_VERSION
+    if tags:
+        record["tags"] = dict(tags)
+    return record
+
+
+def save_jsonl(
+    results: Iterable[Union[RunResult, dict]],
+    path: str,
+    tags: Optional[Dict[str, str]] = None,
+    append: bool = False,
+) -> int:
+    """Write versioned records to a JSON-lines file; returns the count."""
+    n = 0
+    with open(path, "a" if append else "w") as f:
+        for result in results:
+            f.write(json.dumps(result_record(result, tags)) + "\n")
+            n += 1
+    return n
+
+
+def load_jsonl(path: str) -> List[dict]:
+    """All records from ``path``; a missing file reads as empty.
+
+    Records written before versioning (no ``schema_version`` field) are
+    accepted as version 0; records from a *newer* schema raise, since
+    silently misreading them is worse than failing.
+    """
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: corrupt result record: {exc}"
+                ) from exc
+            version = record.get("schema_version", 0)
+            if not isinstance(version, int) or version > SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path}:{line_no}: schema_version {version!r} is newer "
+                    f"than supported ({SCHEMA_VERSION}); upgrade repro"
+                )
+            records.append(record)
+    return records
 
 
 class ResultStore:
@@ -29,29 +93,11 @@ class ResultStore:
         self.path = path
 
     def append(self, result: RunResult, tags: Optional[Dict[str, str]] = None) -> None:
-        record = result.to_dict()
-        if tags:
-            record["tags"] = dict(tags)
-        with open(self.path, "a") as f:
-            f.write(json.dumps(record) + "\n")
+        save_jsonl([result], self.path, tags=tags, append=True)
 
     def load(self) -> List[dict]:
         """All records; missing file reads as empty."""
-        if not os.path.exists(self.path):
-            return []
-        records = []
-        with open(self.path) as f:
-            for line_no, line in enumerate(f, 1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    records.append(json.loads(line))
-                except json.JSONDecodeError as exc:
-                    raise ValueError(
-                        f"{self.path}:{line_no}: corrupt result record: {exc}"
-                    ) from exc
-        return records
+        return load_jsonl(self.path)
 
     def latest(self, index: str, workload: str) -> Optional[dict]:
         """Most recent record for an (index, workload) pair."""

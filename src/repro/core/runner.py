@@ -1,22 +1,41 @@
-"""Benchmark runner: executes a workload on an index and measures it.
+"""Instrumented execution engine: runs a workload on an index, measured.
 
 Throughput and latency are reported on the **virtual cost-model clock**
 (see :mod:`repro.core.cost`): Python wall-clock time measures the
 interpreter, not the index design.  Wall seconds are still recorded for
 sanity.  As in the paper, measurement starts *after* bulk loading, and
 latencies are sampled from ~1% of operations.
+
+Measurement is structured as an :class:`ExecutionEngine` driving an
+op-dispatch table, with every metric collected by an
+:class:`ExecutionObserver`.  Latency sampling, Table-3 insert
+statistics and scan accounting are stock observers; downstream users
+(trace replay, diagnostics, future sharded/async runners) attach their
+own without touching the loop::
+
+    class OpCounter(ExecutionObserver):
+        def __init__(self):
+            self.n = 0
+        def on_op(self, event, latency):
+            self.n += 1
+
+    counter = OpCounter()
+    result = ExecutionEngine(observers=[counter]).run(index, workload)
+
+:func:`execute` remains the one-call entry point.
 """
 
 from __future__ import annotations
 
-import math
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.cost import ALL_PHASES, CostMeter
 from repro.core.workloads import DELETE, INSERT, LOOKUP, SCAN, UPDATE, Operation, Workload
-from repro.indexes.base import MemoryBreakdown, OrderedIndex
+from repro.indexes.base import MemoryBreakdown, OpRecord, OrderedIndex
+
+#: Op kinds whose latency lands in ``write_latency``.
+_WRITE_OPS = (INSERT, UPDATE, DELETE)
 
 
 @dataclass
@@ -39,7 +58,11 @@ class LatencyStats:
         n = len(s)
 
         def pct(p: float) -> float:
-            return s[min(n - 1, int(p * n))]
+            # Nearest-rank percentile: rank = ceil(p * n), 1-based.
+            rank = int(p * n)
+            if rank < p * n:
+                rank += 1
+            return s[max(rank, 1) - 1]
 
         mean = sum(s) / n
         var = sum((x - mean) ** 2 for x in s) / n
@@ -145,6 +168,201 @@ class RunResult:
         }
 
 
+# ---------------------------------------------------------------------------
+# Observer protocol
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OpEvent:
+    """One executed operation, as seen by observers.
+
+    ``record`` is the index's ``last_op`` snapshot; it is refreshed by
+    lookup/insert/delete on every index, but some indexes leave it stale
+    on update/scan — consult it only for the op kinds that set it.
+    """
+
+    seq: int
+    op: Operation
+    record: OpRecord
+    #: Operation outcome: insert/update/delete success, lookup hit.
+    ok: bool
+    #: Entries returned (scan ops only).
+    scanned: int = 0
+
+
+class ExecutionObserver:
+    """Pluggable measurement hook; every method is an optional no-op.
+
+    Subclass and override what you need; attach via
+    ``ExecutionEngine(observers=[...])`` or ``engine.add_observer``.
+    """
+
+    def on_phase(self, phase: str, index: OrderedIndex, workload: Workload) -> None:
+        """Engine lifecycle: ``"bulk_load"``, ``"measure"``, ``"done"``."""
+
+    def on_op(self, event: OpEvent, latency: Optional[float]) -> None:
+        """Called once per operation.  ``latency`` is the op's virtual-ns
+        cost when it was sampled, else ``None``."""
+
+    def on_smo(self, event: OpEvent) -> None:
+        """Called after an insert/delete whose op record flagged a
+        structural modification."""
+
+
+class LatencySampler(ExecutionObserver):
+    """Stock observer: collects sampled lookup/write latencies."""
+
+    def __init__(self) -> None:
+        self.lookup_samples: List[float] = []
+        self.write_samples: List[float] = []
+
+    def on_op(self, event: OpEvent, latency: Optional[float]) -> None:
+        if latency is None:
+            return
+        kind = event.op.op
+        if kind == LOOKUP:
+            self.lookup_samples.append(latency)
+        elif kind in _WRITE_OPS:
+            self.write_samples.append(latency)
+
+
+class InsertStatsCollector(ExecutionObserver):
+    """Stock observer: Table-3 statistics over *successful* inserts.
+
+    Failed inserts (duplicate keys) did no structural work — counting
+    them would dilute ``keys_shifted``/``smo_rate`` averages.
+    """
+
+    def __init__(self) -> None:
+        self.stats = InsertStats()
+
+    def on_op(self, event: OpEvent, latency: Optional[float]) -> None:
+        if event.op.op == INSERT and event.ok:
+            self.stats.record(event.record)
+
+
+class ScanAccountant(ExecutionObserver):
+    """Stock observer: total entries returned by scan ops."""
+
+    def __init__(self) -> None:
+        self.scanned_entries = 0
+
+    def on_op(self, event: OpEvent, latency: Optional[float]) -> None:
+        self.scanned_entries += event.scanned
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+class ExecutionEngine:
+    """Drives a workload through an index via an op-dispatch table.
+
+    ``sample_every`` controls latency sampling (~1% of ops by default,
+    matching the paper).  Sampling snapshots the cost meter around the
+    op, so sampled and unsampled ops execute identically.  Observers
+    passed at construction (or via :meth:`add_observer`) persist across
+    runs; the stock metric collectors are created fresh per run.
+    """
+
+    def __init__(
+        self,
+        sample_every: int = 101,
+        reset_meter: bool = True,
+        observers: Sequence[ExecutionObserver] = (),
+    ) -> None:
+        self.sample_every = sample_every
+        self.reset_meter = reset_meter
+        self.observers: List[ExecutionObserver] = list(observers)
+        self._dispatch: Dict[str, Callable[[OrderedIndex, Operation], Tuple[bool, int]]] = {
+            LOOKUP: self._op_lookup,
+            INSERT: self._op_insert,
+            UPDATE: self._op_update,
+            DELETE: self._op_delete,
+            SCAN: self._op_scan,
+        }
+
+    def add_observer(self, observer: ExecutionObserver) -> ExecutionObserver:
+        self.observers.append(observer)
+        return observer
+
+    # -- op handlers (the dispatch table) --------------------------------------
+
+    @staticmethod
+    def _op_lookup(index: OrderedIndex, op: Operation) -> Tuple[bool, int]:
+        return index.lookup(op.key) is not None, 0
+
+    @staticmethod
+    def _op_insert(index: OrderedIndex, op: Operation) -> Tuple[bool, int]:
+        return bool(index.insert(op.key, op.value)), 0
+
+    @staticmethod
+    def _op_update(index: OrderedIndex, op: Operation) -> Tuple[bool, int]:
+        return bool(index.update(op.key, op.value)), 0
+
+    @staticmethod
+    def _op_delete(index: OrderedIndex, op: Operation) -> Tuple[bool, int]:
+        return bool(index.delete(op.key)), 0
+
+    @staticmethod
+    def _op_scan(index: OrderedIndex, op: Operation) -> Tuple[bool, int]:
+        return True, len(index.range_scan(op.key, op.count))
+
+    # -- the measured loop ------------------------------------------------------
+
+    def run(self, index: OrderedIndex, workload: Workload) -> RunResult:
+        """Bulk load, run the operation stream, return measurements."""
+        sampler = LatencySampler()
+        istats = InsertStatsCollector()
+        scans = ScanAccountant()
+        observers = [sampler, istats, scans, *self.observers]
+
+        for obs in observers:
+            obs.on_phase("bulk_load", index, workload)
+        index.bulk_load(workload.bulk_items)
+        if self.reset_meter:
+            index.meter.reset()
+        for obs in observers:
+            obs.on_phase("measure", index, workload)
+
+        meter = index.meter
+        dispatch = self._dispatch
+        sample_every = self.sample_every
+        start_ns = meter.total_time()
+        wall0 = time.perf_counter()
+        for i, op in enumerate(workload.operations):
+            handler = dispatch.get(op.op)
+            if handler is None:
+                raise ValueError(f"unknown op {op.op!r}")
+            sampled = (i % sample_every) == 0
+            before = meter.total_time() if sampled else 0.0
+            ok, scanned = handler(index, op)
+            latency = meter.total_time() - before if sampled else None
+            event = OpEvent(seq=i, op=op, record=index.last_op, ok=ok, scanned=scanned)
+            for obs in observers:
+                obs.on_op(event, latency)
+            if (op.op == INSERT or op.op == DELETE) and index.last_op.smo:
+                for obs in observers:
+                    obs.on_smo(event)
+        wall = time.perf_counter() - wall0
+
+        for obs in observers:
+            obs.on_phase("done", index, workload)
+        return RunResult(
+            index_name=index.name,
+            workload_name=workload.name,
+            n_ops=workload.n_ops,
+            virtual_ns=meter.total_time() - start_ns,
+            wall_seconds=wall,
+            phase_ns=meter.time_by_phase(),
+            lookup_latency=LatencyStats.from_samples(sampler.lookup_samples),
+            write_latency=LatencyStats.from_samples(sampler.write_samples),
+            insert_stats=istats.stats,
+            memory=index.memory_usage(),
+            scanned_entries=scans.scanned_entries,
+        )
+
+
 def execute(
     index: OrderedIndex,
     workload: Workload,
@@ -153,58 +371,11 @@ def execute(
 ) -> RunResult:
     """Bulk load, run the operation stream, return measurements.
 
-    ``sample_every`` controls latency sampling (~1% of ops by default,
-    matching the paper).  Sampling snapshots the cost meter around the
-    op, so sampled and unsampled ops execute identically.
+    One-call wrapper over :class:`ExecutionEngine` with the stock
+    observers only.
     """
-    index.bulk_load(workload.bulk_items)
-    if reset_meter:
-        index.meter.reset()
-    meter = index.meter
-    start_ns = meter.total_time()
-    wall0 = time.perf_counter()
-    lookup_samples: List[float] = []
-    write_samples: List[float] = []
-    istats = InsertStats()
-    scanned = 0
-    for i, op in enumerate(workload.operations):
-        sampled = (i % sample_every) == 0
-        before = meter.total_time() if sampled else 0.0
-        kind = op.op
-        if kind == LOOKUP:
-            index.lookup(op.key)
-        elif kind == INSERT:
-            index.insert(op.key, op.value)
-            istats.record(index.last_op)
-        elif kind == UPDATE:
-            index.update(op.key, op.value)
-        elif kind == DELETE:
-            index.delete(op.key)
-        elif kind == SCAN:
-            scanned += len(index.range_scan(op.key, op.count))
-        else:
-            raise ValueError(f"unknown op {kind!r}")
-        if sampled:
-            lat = meter.total_time() - before
-            if kind == LOOKUP:
-                lookup_samples.append(lat)
-            elif kind in (INSERT, UPDATE, DELETE):
-                write_samples.append(lat)
-    wall = time.perf_counter() - wall0
-    phase_ns = meter.time_by_phase()
-    return RunResult(
-        index_name=index.name,
-        workload_name=workload.name,
-        n_ops=workload.n_ops,
-        virtual_ns=meter.total_time() - start_ns,
-        wall_seconds=wall,
-        phase_ns=phase_ns,
-        lookup_latency=LatencyStats.from_samples(lookup_samples),
-        write_latency=LatencyStats.from_samples(write_samples),
-        insert_stats=istats,
-        memory=index.memory_usage(),
-        scanned_entries=scanned,
-    )
+    engine = ExecutionEngine(sample_every=sample_every, reset_meter=reset_meter)
+    return engine.run(index, workload)
 
 
 def best_throughput(results: List[RunResult]) -> RunResult:

@@ -20,7 +20,7 @@ stream.  Builders mirror the paper's definitions, scaled by ``n``:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.datasets.zipfian import ScrambledZipfian, ZipfianGenerator

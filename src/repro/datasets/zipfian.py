@@ -9,9 +9,8 @@ paper).
 
 from __future__ import annotations
 
-import math
 import random
-from typing import List, Optional
+from typing import List
 
 
 class ZipfianGenerator:

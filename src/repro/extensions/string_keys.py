@@ -21,7 +21,7 @@ sensitivity, SMO behaviour, memory shape) while supporting arbitrary
 from __future__ import annotations
 
 import bisect
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.indexes.base import OrderedIndex
 

@@ -31,7 +31,6 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.core.cost import (
     ALLOC_NODE,
     charge_local_search,
-    KEY_COMPARE,
     KEY_SHIFT,
     MODEL_EVAL,
     NODE_HOP,
@@ -270,10 +269,14 @@ class ALEX(OrderedIndex):
         if max(len(g) for g in groups) == n:
             # Model failed to partition (extreme skew): split by median.
             mid = n // 2
-            groups = [items[:mid], items[mid:]]
             boundary = items[mid][0]
             slope = 1.0 / max(boundary - items[0][0], 1)
             model = LinearModel(slope, 0.0, items[0][0])
+            split_at = self._routed_split_at(model, items, 2, 1)
+            if split_at == 0 or split_at == n:
+                # Routing cannot separate the keys at all: one big leaf.
+                return self._new_data_node(items)
+            groups = [items[:split_at], items[split_at:]]
             fanout = 2
         children: List[Any] = [None] * fanout
         prev_child: Any = None
@@ -561,6 +564,26 @@ class ALEX(OrderedIndex):
         node.shifts_since_build = 0
         node.search_since_build = 0
 
+    @staticmethod
+    def _routed_split_at(
+        model: LinearModel, items: Sequence[Tuple[Key, Value]], fanout: int, slot: int
+    ) -> int:
+        """First item index the ``model`` routes to a child slot >= ``slot``.
+
+        Items MUST be partitioned with the same routing function traversal
+        uses: a key comparison against a float boundary can disagree with
+        ``predict_clamped`` in the last ulp and strand the boundary key in
+        a child that lookups never visit.
+        """
+        lo, hi = 0, len(items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if model.predict_clamped(items[mid][0], fanout) < slot:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
     def _split_sideways(self, node: _DataNode, parents: List[Tuple[_InnerNode, int]]) -> int:
         self.split_count += 1
         if not parents:
@@ -568,18 +591,24 @@ class ALEX(OrderedIndex):
             items = node.occupied_items()
             mid = len(items) // 2
             boundary = items[mid][0]
-            lo, hi = items[0][0], items[-1][0]
-            left = self._new_data_node(items[:mid])
-            right = self._new_data_node(items[mid:])
+            lo = items[0][0]
+            # Fanout-2 model with the boundary between the two slots.
+            slope = 1.0 / max(boundary - lo, 1)
+            model = LinearModel(slope, 0.0, lo)
+            split_at = self._routed_split_at(model, items, 2, 1)
+            if split_at == 0 or split_at == len(items):
+                # The model cannot separate the keys: retrain in place.
+                self._expand(node)
+                self.expand_count += 1
+                return 0
+            left = self._new_data_node(items[:split_at])
+            right = self._new_data_node(items[split_at:])
             left.prev, left.next = node.prev, right
             right.prev, right.next = left, node.next
             if node.prev is not None:
                 node.prev.next = left
             if node.next is not None:
                 node.next.prev = right
-            # Fanout-2 model with the boundary between the two slots.
-            slope = 1.0 / max(boundary - lo, 1)
-            model = LinearModel(slope, 0.0, lo)
             inner = _InnerNode(self._next_node_id(), model, [left, right])
             self.meter.charge(ALLOC_NODE)
             self._root = inner
@@ -593,13 +622,12 @@ class ALEX(OrderedIndex):
         while s1 < len(parent.children) and parent.children[s1] is node:
             s1 += 1
         if s1 - s0 >= 2:
-            # Split the slot run at the model boundary key.
+            # Split the slot run where the parent model routes keys to b+.
             b = (s0 + s1) // 2
-            boundary = self._slot_boundary_key(parent, b)
             items = node.occupied_items()
-            split_at = 0
-            while split_at < len(items) and items[split_at][0] < boundary:
-                split_at += 1
+            split_at = self._routed_split_at(
+                parent.model, items, len(parent.children), b
+            )
             if split_at == 0 or split_at == len(items):
                 # All keys routed to one side of the slot boundary: the
                 # parent model cannot separate them — split downward.
@@ -627,10 +655,15 @@ class ALEX(OrderedIndex):
             self.expand_count += 1
             return 0
         boundary = items[mid][0]
-        left = self._new_data_node(items[:mid])
-        right = self._new_data_node(items[mid:])
         slope = 1.0 / max(boundary - items[0][0], 1)
         model = LinearModel(slope, 0.0, items[0][0])
+        split_at = self._routed_split_at(model, items, 2, 1)
+        if split_at == 0 or split_at == len(items):
+            self._expand(node)
+            self.expand_count += 1
+            return 0
+        left = self._new_data_node(items[:split_at])
+        right = self._new_data_node(items[split_at:])
         inner = _InnerNode(self._next_node_id(), model, [left, right])
         self.meter.charge(ALLOC_NODE)
         self._splice_leaf_links(node, left, right)

@@ -24,7 +24,6 @@ from repro.core.cost import (
     KEY_SHIFT,
     NODE_HOP,
     PHASE_COLLISION,
-    PHASE_SEARCH,
     PHASE_SMO,
     PHASE_TRAVERSE,
     SCAN_ENTRY,

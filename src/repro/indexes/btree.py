@@ -299,7 +299,6 @@ class BPlusTree(OrderedIndex):
         return True, len(inner.children) < max(2, self._min_fill)
 
     def _rebalance(self, parent: _Inner, idx: int) -> None:
-        child = parent.children[idx]
         left = parent.children[idx - 1] if idx > 0 else None
         right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
 

@@ -44,7 +44,6 @@ from repro.core.hardness import optimal_pla
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
-    POINTER_BYTES,
     Key,
     MemoryBreakdown,
     OpRecord,

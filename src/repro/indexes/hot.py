@@ -31,8 +31,6 @@ from repro.core.cost import (
     SLOT_PROBE,
 )
 from repro.indexes.base import (
-    KEY_BYTES,
-    PAYLOAD_BYTES,
     POINTER_BYTES,
     Key,
     MemoryBreakdown,

@@ -12,7 +12,7 @@ Every learned index in the study is, at heart, a tree of linear models
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 try:  # numpy accelerates large fits; everything works without it
     import numpy as _np
@@ -20,7 +20,6 @@ except ImportError:  # pragma: no cover
     _np = None
 
 from repro.core.cost import (
-    KEY_COMPARE,
     CostMeter,
     charge_binary_search,
     charge_local_search,

@@ -51,7 +51,6 @@ from repro.core.cost import (
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
-    POINTER_BYTES,
     Key,
     MemoryBreakdown,
     OpRecord,

@@ -26,7 +26,6 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.cost import (
     ALLOC_NODE,
-    charge_binary_search,
     KEY_COMPARE,
     KEY_SHIFT,
     NODE_HOP,

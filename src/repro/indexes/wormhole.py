@@ -23,7 +23,6 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.cost import (
     ALLOC_NODE,
-    charge_binary_search,
     HASH,
     KEY_COMPARE,
     KEY_SHIFT,
@@ -37,7 +36,6 @@ from repro.core.cost import (
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
-    POINTER_BYTES,
     Key,
     MemoryBreakdown,
     OpRecord,

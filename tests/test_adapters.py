@@ -1,6 +1,5 @@
 """Per-protocol trace shapes emitted by the concurrency adapters."""
 
-import pytest
 
 from repro.concurrency.adapters import (
     ALEXPlus,

@@ -12,7 +12,6 @@ def _leaf_of(idx, key):
 
 
 def test_model_place_keeps_order_and_fits():
-    idx = ALEX()
     node = _DataNode(1)
     cap = 20
     node.keys = [_GAP_HIGH] * cap
@@ -30,7 +29,6 @@ def test_model_place_keeps_order_and_fits():
 
 
 def test_fill_gaps_right_copy_invariant():
-    idx = ALEX()
     node = _DataNode(1)
     node.keys = [_GAP_HIGH] * 8
     node.values = [None] * 8
@@ -67,9 +65,6 @@ def test_split_triggered_by_node_size_cap():
 def test_fanout_doubling_preserves_routing():
     idx = ALEX(target_leaf_keys=32, max_data_keys=64, max_fanout=1 << 10)
     idx.bulk_load([(i, i) for i in range(0, 2000, 10)])
-    root = idx._root
-    if isinstance(root, _InnerNode):
-        before = len(root.children)
     rng = random.Random(2)
     for _ in range(1500):
         idx.insert(rng.randrange(2000), 0)

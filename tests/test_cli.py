@@ -34,6 +34,28 @@ def test_run_command(capsys):
     assert "memory" in out
 
 
+def test_run_command_json_and_out(tmp_path, capsys):
+    import json
+
+    from repro.core.results import SCHEMA_VERSION, load_jsonl
+
+    out_path = str(tmp_path / "runs.jsonl")
+    code, out = _run(capsys, "run", "--index", "B+tree", "--dataset", "covid",
+                     "--n", "1000", "--ops", "500", "--json", "--out", out_path)
+    assert code == 0
+    record = json.loads(out)
+    assert record["index"] == "B+tree"
+    assert record["schema_version"] == SCHEMA_VERSION
+    saved = load_jsonl(out_path)
+    assert len(saved) == 1
+    assert saved[0]["throughput_mops"] == record["throughput_mops"]
+    # --out appends, so a second run grows the artifact file.
+    code, _ = _run(capsys, "run", "--index", "B+tree", "--dataset", "covid",
+                   "--n", "1000", "--ops", "500", "--out", out_path)
+    assert code == 0
+    assert len(load_jsonl(out_path)) == 2
+
+
 def test_run_command_scan_workload(capsys):
     code, out = _run(capsys, "run", "--index", "B+tree", "--dataset", "stack",
                      "--workload", "scan:50", "--n", "2000", "--ops", "1000")

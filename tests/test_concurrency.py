@@ -11,8 +11,8 @@ from repro.concurrency.adapters import (
     WormholeAdapter,
     XIndexAdapter,
 )
-from repro.concurrency.simcore import MulticoreSimulator, SimResult, Topology
-from repro.concurrency.trace import OpTrace, bytes_from_counts
+from repro.concurrency.simcore import MulticoreSimulator, Topology
+from repro.concurrency.trace import bytes_from_counts
 from repro.core.cost import KEY_SHIFT, NODE_HOP
 from repro.core.workloads import mixed_workload
 from repro.datasets import registry

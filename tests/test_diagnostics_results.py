@@ -7,7 +7,14 @@ import pytest
 
 from repro import ALEX, BPlusTree, LIPP, PGMIndex, execute, mixed_workload
 from repro.core.diagnostics import diagnose
-from repro.core.results import Regression, ResultStore, compare
+from repro.core.results import (
+    SCHEMA_VERSION,
+    ResultStore,
+    compare,
+    load_jsonl,
+    result_record,
+    save_jsonl,
+)
 
 KEYS = sorted(random.Random(0).sample(range(2**40), 4000))
 
@@ -106,6 +113,54 @@ def test_store_latest(tmp_path):
     latest = store.latest(r.index_name, r.workload_name)
     assert latest["tags"] == {"v": "new"}
     assert store.latest("nope", "x") is None
+
+
+# -- versioned artifacts -------------------------------------------------------
+
+def test_result_record_stamps_schema_version():
+    record = result_record(_result(), tags={"commit": "abc"})
+    assert record["schema_version"] == SCHEMA_VERSION
+    assert record["tags"] == {"commit": "abc"}
+    assert record["index"] == "B+tree"
+
+
+def test_save_load_jsonl_round_trip(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    r = _result()
+    assert save_jsonl([r, r], path, tags={"run": "a"}) == 2
+    assert save_jsonl([r], path, append=True) == 1
+    records = load_jsonl(path)
+    assert len(records) == 3
+    assert all(rec["schema_version"] == SCHEMA_VERSION for rec in records)
+    assert records[0]["tags"] == {"run": "a"}
+    assert "tags" not in records[2]
+    # Without append=True the file is rewritten, not extended.
+    assert save_jsonl([r], path) == 1
+    assert len(load_jsonl(path)) == 1
+
+
+def test_load_jsonl_accepts_legacy_unversioned_records(tmp_path):
+    path = tmp_path / "legacy.jsonl"
+    path.write_text('{"index": "X", "workload": "w", "throughput_mops": 1.0}\n')
+    records = load_jsonl(str(path))
+    assert len(records) == 1
+    assert "schema_version" not in records[0]  # version 0, passed through
+
+
+def test_load_jsonl_rejects_newer_schema(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(json.dumps({"index": "X", "schema_version": SCHEMA_VERSION + 1}) + "\n")
+    with pytest.raises(ValueError, match="newer than supported"):
+        load_jsonl(str(path))
+    path.write_text('{"schema_version": "two"}\n')
+    with pytest.raises(ValueError, match="newer than supported"):
+        load_jsonl(str(path))
+
+
+def test_store_records_are_versioned(tmp_path):
+    store = ResultStore(str(tmp_path / "r.jsonl"))
+    store.append(_result())
+    assert store.load()[0]["schema_version"] == SCHEMA_VERSION
 
 
 def test_compare_flags_throughput_regression():

@@ -8,7 +8,7 @@ reference model; any divergence in results is a bug in that index.
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict
 
 import pytest
 from hypothesis import given, settings

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import ALEX, ART, BPlusTree, LIPP
-from repro.extensions.adaptive import AdaptiveIndex, Recommendation, WorkloadProfile, recommend
+from repro.extensions.adaptive import AdaptiveIndex, WorkloadProfile, recommend
 from repro.extensions.persistence import SnapshotError, load_snapshot, save_snapshot
 from repro.extensions.string_keys import StringKeyIndex, encode_prefix
 from repro.datasets import registry

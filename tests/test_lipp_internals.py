@@ -2,7 +2,7 @@
 
 import random
 
-from repro.indexes.lipp import LIPP, _CHILD, _DATA, _EMPTY
+from repro.indexes.lipp import LIPP, _CHILD, _DATA
 
 
 def test_bulk_build_groups_collisions_into_children():

@@ -1,8 +1,7 @@
 """End-to-end memory measurement helpers (Section 5)."""
 
-import pytest
 
-from repro import ALEX, ART, BPlusTree, HOT, LIPP, PGMIndex
+from repro import ALEX, ART, BPlusTree, HOT, LIPP
 from repro.core.memory import MemoryReport, measure_after_write_only, space_saving_ratio
 from repro.indexes.base import MemoryBreakdown
 

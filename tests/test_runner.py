@@ -3,8 +3,21 @@
 import pytest
 
 from repro.core.report import bar, format_bytes, format_number, series, table
-from repro.core.runner import LatencyStats, best_throughput, execute
-from repro.core.workloads import deletion_workload, mixed_workload, scan_workload
+from repro.core.runner import (
+    ExecutionEngine,
+    ExecutionObserver,
+    LatencyStats,
+    best_throughput,
+    execute,
+)
+from repro.core.workloads import (
+    INSERT,
+    Operation,
+    Workload,
+    deletion_workload,
+    mixed_workload,
+    scan_workload,
+)
 from repro.indexes.alex import ALEX
 from repro.indexes.btree import BPlusTree
 
@@ -55,9 +68,110 @@ def test_latency_stats_percentiles():
     assert s.max == 1000
 
 
+def test_latency_stats_nearest_rank_pinned():
+    # Nearest-rank method: rank = ceil(p * n), 1-based.
+    assert LatencyStats.from_samples([1.0, 2.0]).p50 == 1.0
+    assert LatencyStats.from_samples([1.0, 2.0]).p99 == 2.0
+    hundred = LatencyStats.from_samples(list(map(float, range(1, 101))))
+    assert hundred.p50 == 50.0  # ceil(0.5 * 100) = 50, not 51
+    assert hundred.p99 == 99.0  # ceil(0.99 * 100) = 99, not max
+    assert hundred.p999 == 100.0
+    ten = LatencyStats.from_samples(list(map(float, range(1, 11))))
+    assert ten.p50 == 5.0
+    assert ten.p99 == 10.0
+
+
 def test_latency_stats_empty():
     s = LatencyStats.from_samples([])
     assert s.count == 0 and s.p999 == 0
+
+
+def test_latency_stats_single_sample():
+    s = LatencyStats.from_samples([7.0])
+    assert s.p50 == s.p99 == s.p999 == s.max == 7.0
+
+
+def _strip_wall(result):
+    d = result.to_dict()
+    d.pop("wall_seconds")
+    return d
+
+
+def test_engine_matches_execute_exactly():
+    wl = mixed_workload(KEYS, 0.5, n_ops=2000, seed=11)
+    via_execute = execute(ALEX(), wl)
+    via_engine = ExecutionEngine().run(ALEX(), wl)
+    # Virtual-clock identical; only interpreter wall time may differ.
+    assert _strip_wall(via_engine) == _strip_wall(via_execute)
+
+
+class _Recorder(ExecutionObserver):
+    def __init__(self):
+        self.phases = []
+        self.events = []
+        self.latencies = []
+        self.smos = 0
+
+    def on_phase(self, phase, index, workload):
+        self.phases.append(phase)
+
+    def on_op(self, event, latency):
+        self.events.append(event)
+        if latency is not None:
+            self.latencies.append(latency)
+
+    def on_smo(self, event):
+        self.smos += 1
+
+
+def test_engine_observer_sees_every_operation():
+    wl = mixed_workload(KEYS, 1.0, n_ops=3000, seed=12)
+    rec = _Recorder()
+    r = ExecutionEngine(observers=[rec]).run(ALEX(), wl)
+    assert len(rec.events) == wl.n_ops == r.n_ops
+    assert [e.seq for e in rec.events] == list(range(wl.n_ops))
+    assert rec.phases == ["bulk_load", "measure", "done"]
+    # ~1% sampling: one latency per sample_every ops, first op included.
+    assert len(rec.latencies) == (wl.n_ops + 100) // 101
+    assert all(lat > 0 for lat in rec.latencies)
+    # A write-only stream on ALEX must trigger structural modifications.
+    assert rec.smos > 0
+    assert rec.smos == r.insert_stats.smo_count
+
+
+def test_engine_add_observer_persists_across_runs():
+    rec = _Recorder()
+    engine = ExecutionEngine()
+    assert engine.add_observer(rec) is rec
+    wl = mixed_workload(KEYS[:2000], 0.0, n_ops=100, seed=13)
+    engine.run(BPlusTree(), wl)
+    engine.run(BPlusTree(), wl)
+    assert len(rec.events) == 200
+
+
+def test_insert_stats_skip_failed_duplicate_inserts():
+    """Duplicate-heavy stream: failed inserts must not skew Table 3."""
+    keys = list(range(0, 2000, 2))
+    bulk = [(k, k + 1) for k in keys]
+    ops = []
+    for k in keys[:500]:
+        ops.append(Operation(INSERT, k, 0))        # duplicate: fails
+        ops.append(Operation(INSERT, k + 1, 0))    # fresh: succeeds
+    wl = Workload(name="dup-heavy", bulk_items=bulk, operations=ops,
+                  write_fraction=1.0)
+    r = execute(BPlusTree(), wl)
+    assert r.n_ops == 1000
+    assert r.insert_stats.inserts == 500  # only the successful half
+    # Averages are per *successful* insert: traversals are real work.
+    assert r.insert_stats.averages()["nodes_traversed"] >= 1
+    assert 0.0 <= r.insert_stats.averages()["smo_rate"] <= 1.0
+
+
+def test_engine_rejects_unknown_op():
+    wl = Workload(name="bad", bulk_items=[(1, 1)],
+                  operations=[Operation("frobnicate", 1)])
+    with pytest.raises(ValueError, match="unknown op"):
+        execute(BPlusTree(), wl)
 
 
 def test_best_throughput():

@@ -3,7 +3,7 @@
 import random
 
 from repro.indexes.art import ART, _ArtNode, _tier
-from repro.indexes.btree import BPlusTree, _Inner, _Leaf
+from repro.indexes.btree import BPlusTree, _Inner
 from repro.indexes.masstree import Masstree
 from repro.indexes.wormhole import Wormhole, _LEAF_CAPACITY
 
