@@ -33,6 +33,13 @@ from repro.core.runner import (
     RunResult,
     execute,
 )
+from repro.core.telemetry import (
+    CostProfiler,
+    MetricsCollector,
+    MetricsRegistry,
+    Telemetry,
+    TraceRecorder,
+)
 from repro.core.workloads import (
     Workload,
     deletion_workload,
@@ -65,9 +72,10 @@ TRADITIONAL_INDEXES = REGISTRY.factories(tag="core", learned=False)
 __all__ = [
     "ALEX", "ART", "BPlusTree", "FINEdex", "FITingTree", "HOT", "LIPP",
     "Masstree", "PGMIndex", "RMI", "Wormhole", "XIndex",
-    "CostMeter", "ExecutionEngine", "ExecutionObserver", "Heatmap",
-    "IndexRegistry", "IndexSpec", "MemoryBreakdown", "OpEvent",
-    "OrderedIndex", "REGISTRY", "RunResult",
+    "CostMeter", "CostProfiler", "ExecutionEngine", "ExecutionObserver",
+    "Heatmap", "IndexRegistry", "IndexSpec", "MemoryBreakdown",
+    "MetricsCollector", "MetricsRegistry", "OpEvent",
+    "OrderedIndex", "REGISTRY", "RunResult", "Telemetry", "TraceRecorder",
     "Workload", "compute_heatmap", "deletion_workload", "execute",
     "global_hardness", "local_hardness", "mixed_workload", "mse_hardness",
     "optimal_pla", "pla_hardness", "scan_workload", "shift_workload",

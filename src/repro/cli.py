@@ -80,13 +80,59 @@ def cmd_hardness(args) -> int:
     return 0
 
 
+def _telemetry_from_args(args):
+    """A Telemetry bundle for the run/diagnose flags, or None."""
+    from repro.core.telemetry import (
+        CostProfiler,
+        MetricsCollector,
+        Telemetry,
+        TraceRecorder,
+    )
+
+    trace = getattr(args, "trace", "") or getattr(args, "trace_log", "")
+    metrics = getattr(args, "metrics", "")
+    profile = getattr(args, "profile", False)
+    if not (trace or metrics or profile):
+        return None
+    return Telemetry(
+        trace=TraceRecorder() if trace else None,
+        metrics=MetricsCollector(window_ops=getattr(args, "window", 256)) if metrics else None,
+        profiler=CostProfiler() if profile else None,
+    )
+
+
+def _save_telemetry(args, telemetry) -> None:
+    """Persist telemetry artifacts through the versioned-results layer."""
+    from repro.core.results import save_jsonl
+
+    if telemetry is None:
+        return
+    if telemetry.trace is not None:
+        if getattr(args, "trace", ""):
+            telemetry.trace.save_chrome(args.trace)
+            print(f"trace: {args.trace} ({len(telemetry.trace.spans())} op spans; "
+                  "open in Perfetto / chrome://tracing)")
+        if getattr(args, "trace_log", ""):
+            n = save_jsonl(telemetry.trace.events, args.trace_log,
+                           tags={"artifact": "trace"})
+            print(f"trace log: {args.trace_log} ({n} events)")
+    if telemetry.metrics is not None and getattr(args, "metrics", ""):
+        n = save_jsonl(telemetry.metrics.series, args.metrics,
+                       tags={"artifact": "metrics"})
+        storms = telemetry.metrics.smo_storms()
+        print(f"metrics: {args.metrics} ({n} samples, "
+              f"{len(storms)} SMO storm(s) detected)")
+
+
 def cmd_run(args) -> int:
     factory = _ALL_INDEXES.get(args.index)
     if factory is None:
         raise SystemExit(f"unknown index {args.index!r}; use one of {sorted(_ALL_INDEXES)}")
     keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
     wl = _workload(args, keys)
-    r = execute(factory(), wl)
+    telemetry = _telemetry_from_args(args)
+    r = execute(factory(), wl, telemetry=telemetry)
+    _save_telemetry(args, telemetry)
     if getattr(args, "out", None):
         from repro.core.results import save_jsonl
 
@@ -192,6 +238,7 @@ def cmd_memory(args) -> int:
 
 def cmd_diagnose(args) -> int:
     from repro.core.diagnostics import diagnose
+    from repro.core.telemetry import CostProfiler, MetricsCollector, Telemetry
 
     factory = _ALL_INDEXES.get(args.index)
     if factory is None:
@@ -199,9 +246,32 @@ def cmd_diagnose(args) -> int:
     keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
     wl = _workload(args, keys)
     idx = factory()
-    execute(idx, wl)
+    # Record the run so the report can cite behavioral findings (SMO
+    # storms, dominant cost phases), not just end-state structure.
+    telemetry = Telemetry(metrics=MetricsCollector(), profiler=CostProfiler())
+    execute(idx, wl, telemetry=telemetry)
     sample = [k for k, _ in wl.bulk_items][:: max(1, len(wl.bulk_items) // 300)]
-    print(diagnose(idx, sample).render())
+    print(diagnose(idx, sample, telemetry=telemetry).render())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.core.telemetry import CostProfiler, Telemetry
+
+    factory = _ALL_INDEXES.get(args.index)
+    if factory is None:
+        raise SystemExit(f"unknown index {args.index!r}; use one of {sorted(_ALL_INDEXES)}")
+    keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
+    wl = _workload(args, keys)
+    idx = factory()
+    profiler = CostProfiler()
+    r = execute(idx, wl, telemetry=Telemetry(profiler=profiler))
+    print(f"{args.index} on {args.dataset} / {wl.name}: "
+          f"{r.throughput_mops:.3f} Mops over {r.virtual_ns / 1e6:.2f} virtual ms\n")
+    print(profiler.render(top=args.top))
+    # The profile is exhaustive: its phase totals are the meter's.
+    drift = abs(profiler.total_ns() - sum(idx.meter.time_by_phase().values()))
+    print(f"\nreconciliation drift vs CostMeter.time_by_phase(): {drift:.3g} ns")
     return 0
 
 
@@ -252,6 +322,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--out", default="",
                     help="append the versioned result record to this "
                          "JSON-lines file (compare-runs input)")
+    sp.add_argument("--trace", default="",
+                    help="write a Chrome trace-event JSON of the run "
+                         "(virtual-clock op spans + SMO instants; open "
+                         "in Perfetto)")
+    sp.add_argument("--trace-log", default="", dest="trace_log",
+                    help="write the raw telemetry event log as "
+                         "versioned JSON-lines")
+    sp.add_argument("--metrics", default="",
+                    help="write windowed throughput/SMO-rate/memory "
+                         "time-series as versioned JSON-lines")
+    sp.add_argument("--window", type=int, default=256,
+                    help="ops per metrics window")
     common(sp, workload=True)
 
     sp = sub.add_parser("compare", help="all indexes on one workload")
@@ -278,6 +360,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help=f"one of {sorted(_ALL_INDEXES)}")
     common(sp, workload=True)
 
+    sp = sub.add_parser("profile",
+                        help="cost-attribution flame-table for one run")
+    sp.add_argument("--index", default="ALEX",
+                    help=f"one of {sorted(_ALL_INDEXES)}")
+    sp.add_argument("--top", type=int, default=20,
+                    help="hottest (op, phase, cost-kind) cells to show")
+    common(sp, workload=True)
+
     sp = sub.add_parser("compare-runs",
                         help="regressions between two result files")
     sp.add_argument("baseline")
@@ -295,6 +385,7 @@ _COMMANDS = {
     "scalability": cmd_scalability,
     "memory": cmd_memory,
     "diagnose": cmd_diagnose,
+    "profile": cmd_profile,
     "compare-runs": cmd_compare_runs,
 }
 

@@ -135,8 +135,16 @@ class MulticoreSimulator:
         traces: List[OpTrace],
         threads: int,
         sample_every: int = 101,
+        span_sink: Optional[List[Tuple[int, float, float, str]]] = None,
     ) -> SimResult:
-        """Replay recorded traces on ``threads`` virtual cores."""
+        """Replay recorded traces on ``threads`` virtual cores.
+
+        ``span_sink``, if given, receives one ``(tid, start_ns, end_ns,
+        op)`` tuple per operation — the per-thread execution lanes.
+        Feed them to :func:`repro.core.telemetry.chrome_trace_from_spans`
+        to inspect lock waits and thread skew in Perfetto.  When the run
+        is bandwidth-limited the spans are stretched with the makespan.
+        """
         topo = self.topology
         if threads < 1 or threads > topo.max_threads():
             raise ValueError(
@@ -188,6 +196,8 @@ class MulticoreSimulator:
                 busy_until[resource] = t
             result.bytes_total += trace.bytes
             latency = t - start
+            if span_sink is not None:
+                span_sink.append((tid, start, t, trace.op))
             if i % sample_every == 0:
                 if trace.op == "lookup":
                     result.lookup_latencies.append(latency)
@@ -207,5 +217,8 @@ class MulticoreSimulator:
                 result.bandwidth_limited = True
                 result.lookup_latencies = [x * stretch for x in result.lookup_latencies]
                 result.write_latencies = [x * stretch for x in result.write_latencies]
+                if span_sink is not None:
+                    span_sink[:] = [(tid, s * stretch, e * stretch, op)
+                                    for tid, s, e, op in span_sink]
         result.makespan_ns = makespan
         return result

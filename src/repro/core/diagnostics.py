@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro.core.cost import PHASE_SMO
 from repro.core.report import table
 from repro.indexes.alex import ALEX
 from repro.indexes.base import OrderedIndex
@@ -65,11 +66,18 @@ def _sample_ops(index: OrderedIndex, sample_keys: Sequence[int]) -> Dict[str, fl
     }
 
 
-def diagnose(index: OrderedIndex, sample_keys: Sequence[int] = ()) -> DiagnosticReport:
+def diagnose(
+    index: OrderedIndex,
+    sample_keys: Sequence[int] = (),
+    telemetry=None,
+) -> DiagnosticReport:
     """Inspect an index's structural health.
 
     ``sample_keys`` (optional) drive the generic lookup probes; pass a
-    few hundred keys you expect to be present.
+    few hundred keys you expect to be present.  ``telemetry`` (optional)
+    is a :class:`repro.core.telemetry.Telemetry` bundle that observed a
+    run on this index — its SMO-storm windows and cost-phase breakdown
+    become behavioral findings alongside the structural ones.
     """
     report = DiagnosticReport(index_name=index.name, n_keys=len(index))
     report.metrics.update(_sample_ops(index, sample_keys))
@@ -84,6 +92,8 @@ def diagnose(index: OrderedIndex, sample_keys: Sequence[int] = ()) -> Diagnostic
     elif isinstance(index, PGMIndex):
         _diagnose_pgm(index, report)
     _generic_findings(report)
+    if telemetry is not None:
+        _telemetry_findings(report, telemetry)
     return report
 
 
@@ -147,6 +157,47 @@ def _diagnose_pgm(index: PGMIndex, report: DiagnosticReport) -> None:
             f"{len(live)} live runs: every lookup probes up to all of "
             "them — the LSM read penalty the paper's Figure 2 notes"
         )
+
+
+def _telemetry_findings(report: DiagnosticReport, telemetry) -> None:
+    """Behavioral findings from a recorded run (storms, phase shares)."""
+    metrics = getattr(telemetry, "metrics", None)
+    if metrics is not None and metrics.series:
+        storms = metrics.smo_storms()
+        report.metrics["smo_storms"] = len(storms)
+        if storms:
+            worst = max(storms, key=lambda s: s.rate)
+            report.findings.append(
+                f"{len(storms)} SMO storm(s) during the recorded run; worst "
+                f"at virtual {worst.start_ns / 1e6:.2f}-{worst.end_ns / 1e6:.2f} ms "
+                f"({worst.rate:.0%} of ops triggered SMOs) — the bursts "
+                "behind insert tail latency (paper Figure 10)"
+            )
+        growth = metrics.memory_growth()
+        if growth > 1.5:
+            report.metrics["memory_growth"] = growth
+            report.findings.append(
+                f"memory grew {growth:.1f}x across the run: structural "
+                "expansion is outpacing the key volume"
+            )
+    profiler = getattr(telemetry, "profiler", None)
+    if profiler is not None and profiler.cells:
+        total = profiler.total_ns()
+        by_phase = profiler.time_by_phase()
+        smo_share = by_phase.get(PHASE_SMO, 0.0) / total if total else 0.0
+        report.metrics["smo_phase_share"] = smo_share
+        if smo_share > 0.3:
+            report.findings.append(
+                f"SMO work is {smo_share:.0%} of measured virtual time: "
+                "structural maintenance out-bleeds the model speedup "
+                "(the paper's Figure-3 observation)"
+            )
+        if total:
+            op, phase, kind, _, ns = profiler.rows()[0]
+            report.findings.append(
+                f"hottest cost cell: {op}/{phase}/{kind} at {ns / total:.0%} "
+                "of measured virtual time"
+            )
 
 
 def _generic_findings(report: DiagnosticReport) -> None:

@@ -29,10 +29,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.workloads import DELETE, INSERT, LOOKUP, SCAN, UPDATE, Operation, Workload
 from repro.indexes.base import MemoryBreakdown, OpRecord, OrderedIndex
+
+if TYPE_CHECKING:  # avoid the runtime cycle with repro.core.telemetry
+    from repro.core.telemetry import Telemetry
 
 #: Op kinds whose latency lands in ``write_latency``.
 _WRITE_OPS = (INSERT, UPDATE, DELETE)
@@ -176,14 +179,17 @@ class RunResult:
 class OpEvent:
     """One executed operation, as seen by observers.
 
-    ``record`` is the index's ``last_op`` snapshot; it is refreshed by
-    lookup/insert/delete on every index, but some indexes leave it stale
-    on update/scan — consult it only for the op kinds that set it.
+    ``record`` is the index's ``last_op`` — but only when *this*
+    operation wrote it.  Indexes refresh ``last_op`` on
+    lookup/insert/delete yet leave it stale on update/scan; the engine
+    detects staleness (indexes always assign a fresh ``OpRecord``) and
+    hands observers ``None`` instead, so structural work can never be
+    misattributed to the wrong operation.
     """
 
     seq: int
     op: Operation
-    record: OpRecord
+    record: Optional[OpRecord]
     #: Operation outcome: insert/update/delete success, lookup hit.
     ok: bool
     #: Entries returned (scan ops only).
@@ -237,7 +243,7 @@ class InsertStatsCollector(ExecutionObserver):
         self.stats = InsertStats()
 
     def on_op(self, event: OpEvent, latency: Optional[float]) -> None:
-        if event.op.op == INSERT and event.ok:
+        if event.op.op == INSERT and event.ok and event.record is not None:
             self.stats.record(event.record)
 
 
@@ -270,10 +276,13 @@ class ExecutionEngine:
         sample_every: int = 101,
         reset_meter: bool = True,
         observers: Sequence[ExecutionObserver] = (),
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         self.sample_every = sample_every
         self.reset_meter = reset_meter
         self.observers: List[ExecutionObserver] = list(observers)
+        if telemetry is not None:
+            self.observers.extend(telemetry.observers())
         self._dispatch: Dict[str, Callable[[OrderedIndex, Operation], Tuple[bool, int]]] = {
             LOOKUP: self._op_lookup,
             INSERT: self._op_insert,
@@ -336,12 +345,17 @@ class ExecutionEngine:
                 raise ValueError(f"unknown op {op.op!r}")
             sampled = (i % sample_every) == 0
             before = meter.total_time() if sampled else 0.0
+            prev_record = index.last_op
             ok, scanned = handler(index, op)
             latency = meter.total_time() - before if sampled else None
-            event = OpEvent(seq=i, op=op, record=index.last_op, ok=ok, scanned=scanned)
+            # Indexes assign a *new* OpRecord whenever they record an op,
+            # so identity against the pre-op object detects staleness
+            # (update/scan paths that never wrote last_op).
+            record = index.last_op if index.last_op is not prev_record else None
+            event = OpEvent(seq=i, op=op, record=record, ok=ok, scanned=scanned)
             for obs in observers:
                 obs.on_op(event, latency)
-            if (op.op == INSERT or op.op == DELETE) and index.last_op.smo:
+            if (op.op == INSERT or op.op == DELETE) and record is not None and record.smo:
                 for obs in observers:
                     obs.on_smo(event)
         wall = time.perf_counter() - wall0
@@ -368,13 +382,18 @@ def execute(
     workload: Workload,
     sample_every: int = 101,
     reset_meter: bool = True,
+    observers: Sequence[ExecutionObserver] = (),
+    telemetry: Optional["Telemetry"] = None,
 ) -> RunResult:
     """Bulk load, run the operation stream, return measurements.
 
-    One-call wrapper over :class:`ExecutionEngine` with the stock
-    observers only.
+    One-call wrapper over :class:`ExecutionEngine`.  ``observers`` and
+    ``telemetry`` attach extra collectors without constructing an
+    engine; with both omitted only the stock observers run and the
+    :class:`RunResult` is byte-identical to previous releases.
     """
-    engine = ExecutionEngine(sample_every=sample_every, reset_meter=reset_meter)
+    engine = ExecutionEngine(sample_every=sample_every, reset_meter=reset_meter,
+                             observers=observers, telemetry=telemetry)
     return engine.run(index, workload)
 
 

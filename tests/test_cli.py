@@ -134,6 +134,50 @@ def test_diagnose_command(capsys):
     assert "Diagnosis: LIPP" in out
 
 
+def test_run_command_trace_and_metrics_artifacts(tmp_path, capsys):
+    import json
+
+    from repro.core.results import load_jsonl
+    from repro.core.telemetry import (
+        validate_chrome_trace,
+        validate_event_records,
+        validate_metric_records,
+    )
+
+    trace = tmp_path / "trace.json"
+    events = tmp_path / "events.jsonl"
+    metrics = tmp_path / "metrics.jsonl"
+    code, out = _run(capsys, "run", "--index", "ALEX", "--dataset", "covid",
+                     "--workload", "write-heavy", "--n", "2000", "--ops",
+                     "1500", "--trace", str(trace), "--trace-log", str(events),
+                     "--metrics", str(metrics), "--window", "128")
+    assert code == 0
+    assert "Perfetto" in out and "SMO storm" in out
+    assert validate_chrome_trace(json.loads(trace.read_text())) > 1500
+    assert validate_event_records(load_jsonl(str(events))) > 1500
+    metric_records = load_jsonl(str(metrics))
+    assert validate_metric_records(metric_records) == len(metric_records) > 0
+    assert all(r["tags"] == {"artifact": "metrics"} for r in metric_records)
+
+
+def test_profile_command(capsys):
+    code, out = _run(capsys, "profile", "--index", "LIPP", "--dataset", "covid",
+                     "--workload", "write-heavy", "--n", "1500", "--ops", "1000",
+                     "--top", "8")
+    assert code == 0
+    assert "Cost profile" in out and "Per-phase totals" in out
+    # The flame-table reconciles with the meter exactly.
+    assert "drift vs CostMeter.time_by_phase(): 0 ns" in out
+
+
+def test_diagnose_command_cites_recorded_run(capsys):
+    code, out = _run(capsys, "diagnose", "--index", "ALEX", "--dataset", "osm",
+                     "--workload", "write-only", "--n", "3000", "--ops", "3000")
+    assert code == 0
+    assert "smo_storms" in out
+    assert "smo_phase_share" in out
+
+
 def test_compare_runs_command(tmp_path, capsys):
     import json
 
