@@ -18,9 +18,18 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro.core.heatmap import Heatmap, sweep_heatmap
 from repro.core.registry import REGISTRY
+from repro.core.sweep import (
+    DatasetSpec,
+    SweepCache,
+    SweepReport,
+    WorkloadSpec,
+    resolve_jobs,
+)
+from repro.core.workloads import MIX_FRACTIONS
 from repro.datasets import registry
 
 _SCALES = {
@@ -58,6 +67,72 @@ ST_ALL: Dict[str, Callable] = {
 def dataset_keys(name: str, n: int = N_KEYS, seed: int = 0):
     """Cached dataset generation (tuple for hashability/immutability)."""
     return tuple(registry.get(name).generate(n, seed))
+
+
+# ---------------------------------------------------------------------------
+# Sweep-backed grids (Figures 2 and 4)
+# ---------------------------------------------------------------------------
+#
+# The heatmap figures are data x workload x index grids of independent
+# cells; they run on the sweep engine (repro.core.sweep), which is how
+# the CLI's ``repro sweep``/``repro heatmap`` run them too.  Parallelism
+# and caching are opt-in for benchmarks so a default ``pytest
+# benchmarks/`` measures fresh, serial runs:
+#
+# * ``REPRO_JOBS=N``        — execute grid cells on N worker processes,
+# * ``GRE_SWEEP_CACHE=DIR`` — reuse the content-addressed cell cache.
+
+def sweep_jobs() -> int:
+    """Worker processes for benchmark grids (``REPRO_JOBS``, default 1)."""
+    return resolve_jobs(None)
+
+
+def sweep_cache() -> Optional[SweepCache]:
+    """The benchmark suite's cell cache, if ``GRE_SWEEP_CACHE`` names one."""
+    root = os.environ.get("GRE_SWEEP_CACHE", "").strip()
+    return SweepCache(root) if root else None
+
+
+def mix_specs(seed: int = 1, n_ops: int = N_OPS) -> Sequence[WorkloadSpec]:
+    """The paper's five insert mixes as sweep workload specs."""
+    return [WorkloadSpec.mixed(frac, n_ops=n_ops, seed=seed)
+            for frac in MIX_FRACTIONS]
+
+
+def st_heatmap(
+    datasets: Sequence[str] = None,
+    seed: int = 1,
+    n_ops: int = N_OPS,
+) -> Tuple[Heatmap, SweepReport]:
+    """Figure 2's single-threaded grid on the sweep engine."""
+    names = list(HEATMAP_DATASETS if datasets is None else datasets)
+    return sweep_heatmap(
+        [DatasetSpec(n, N_KEYS, 0) for n in names],
+        mix_specs(seed=seed, n_ops=n_ops),
+        learned_names=REGISTRY.names(tag="heatmap", learned=True),
+        traditional_names=REGISTRY.names(tag="heatmap", learned=False),
+        jobs=sweep_jobs(), cache=sweep_cache(),
+    )
+
+
+def mt_heatmap(
+    datasets: Sequence[str],
+    threads: int,
+    sockets: int = 1,
+    seed: int = 1,
+    n_ops: int = N_OPS,
+) -> Tuple[Heatmap, SweepReport]:
+    """Figure 4's multicore grid: concurrent variants on the simulator."""
+    learned = [s.concurrent_name for s in REGISTRY.concurrent_specs(learned=True)]
+    traditional = [s.concurrent_name
+                   for s in REGISTRY.concurrent_specs(learned=False)]
+    return sweep_heatmap(
+        [DatasetSpec(n, N_KEYS, 0) for n in datasets],
+        mix_specs(seed=seed, n_ops=n_ops),
+        learned_names=learned, traditional_names=traditional,
+        jobs=sweep_jobs(), cache=sweep_cache(),
+        mode="multicore", threads=threads, sockets=sockets,
+    )
 
 
 def run_once(benchmark, fn):

@@ -12,14 +12,12 @@ reasons).
 from common import (
     HEATMAP_DATASETS,
     N_OPS,
-    ST_LEARNED,
-    ST_TRADITIONAL,
     dataset_keys,
     print_header,
     run_once,
+    st_heatmap,
 )
 from repro import PGMIndex, execute, mixed_workload
-from repro.core.heatmap import compute_heatmap
 from repro.core.workloads import MIX_FRACTIONS, MIX_NAMES
 
 _FRAC = dict(zip(MIX_NAMES, MIX_FRACTIONS))
@@ -30,16 +28,15 @@ def _build(keys, workload_name):
 
 
 def _run():
-    data = {name: dataset_keys(name) for name in HEATMAP_DATASETS}
-    hm = compute_heatmap(
-        data, _build, MIX_NAMES,
-        learned={k: v for k, v in ST_LEARNED.items()},
-        traditional={k: v for k, v in ST_TRADITIONAL.items()},
-    )
+    # The full 10x5 grid rides the sweep engine (REPRO_JOBS controls
+    # parallelism, GRE_SWEEP_CACHE re-uses cells across invocations).
+    hm, report = st_heatmap()
     print_header("Figure 2: single-threaded throughput heatmap")
     print(hm.render())
     print(f"\nLearned-index win fraction: {hm.learned_win_fraction():.0%} "
           f"(paper: >80%)")
+    print(f"[sweep] {len(report.cells)} cells in {report.wall_seconds:.1f}s "
+          f"(jobs={report.jobs}, {report.cache_hits} cache hits)")
     # PGM on the write-only column, reported separately.
     print("\nPGM (write-only column, Mops):")
     for ds in ("covid", "osm"):

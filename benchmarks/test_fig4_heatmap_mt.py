@@ -7,50 +7,27 @@ claiming cells on write-intensive workloads.
 """
 
 from common import (
-    N_OPS,
-    dataset_keys,
+    mt_heatmap,
     print_header,
     run_once,
 )
-from repro.concurrency.adapters import MT_LEARNED, MT_TRADITIONAL
-from repro.concurrency.simcore import MulticoreSimulator, Topology
-from repro.core.heatmap import Heatmap, HeatmapCell
-from repro.core.workloads import MIX_FRACTIONS, MIX_NAMES, mixed_workload
 
 _THREADS = 24
-_FRAC = dict(zip(MIX_NAMES, MIX_FRACTIONS))
 # A representative subset keeps the MT grid tractable.
 _DATASETS = ("covid", "libio", "wiki", "books", "planet", "genome", "fb", "osm")
 
 
-def _best(factories, wl, sim):
-    best_name, best_mops = "", -1.0
-    for name, factory in factories.items():
-        ad = factory()
-        ad.bulk_load(wl.bulk_items)
-        r = sim.run(ad, wl.operations, threads=_THREADS)
-        if r.throughput_mops > best_mops:
-            best_name, best_mops = name, r.throughput_mops
-    return best_name, best_mops
-
-
 def _run():
-    sim = MulticoreSimulator(Topology(sockets=1))
-    hm = Heatmap(datasets=list(_DATASETS), workloads=list(MIX_NAMES))
-    winners = {}
-    for ds in _DATASETS:
-        keys = list(dataset_keys(ds))
-        for wl_name in MIX_NAMES:
-            wl = mixed_workload(keys, _FRAC[wl_name], n_ops=N_OPS, seed=1)
-            bl = _best(MT_LEARNED, wl, sim)
-            bt = _best(MT_TRADITIONAL, wl, sim)
-            cell = HeatmapCell(ds, wl_name, bl[0], bt[0], bl[1], bt[1])
-            hm.cells[(ds, wl_name)] = cell
-            winners[(ds, wl_name)] = bl[0] if cell.learned_wins else bt[0]
+    # Concurrent-variant cells ride the sweep engine in multicore mode:
+    # each task bulk loads an adapter and replays it on the simulator.
+    hm, report = mt_heatmap(_DATASETS, threads=_THREADS, sockets=1)
+    winners = hm.winners()
     print_header(f"Figure 4: throughput heatmap under {_THREADS} threads")
     print(hm.render())
     print(f"\nLearned-index win fraction: {hm.learned_win_fraction():.0%}")
     print("Cell winners:", {k: v for k, v in list(winners.items())[:10]}, "...")
+    print(f"[sweep] {len(report.cells)} cells in {report.wall_seconds:.1f}s "
+          f"(jobs={report.jobs}, {report.cache_hits} cache hits)")
     return hm, winners
 
 

@@ -20,7 +20,6 @@ from typing import Dict, List, Sequence
 
 from repro import execute
 from repro.core.hardness import mse_hardness, pla_hardness
-from repro.core.heatmap import compute_heatmap
 from repro.core.memory import measure_after_write_only
 from repro.core.registry import REGISTRY
 from repro.core.report import ascii_chart, format_bytes, table
@@ -184,19 +183,99 @@ def cmd_compare(args) -> int:
 
 
 def cmd_heatmap(args) -> int:
+    from repro.core.heatmap import sweep_heatmap
+    from repro.core.sweep import DatasetSpec, SweepCache, WorkloadSpec
+
     names = args.datasets.split(",") if args.datasets else registry.heatmap_names()
-    data = {n: registry.get(n).generate(args.n, seed=args.seed) for n in names}
-
-    def build(keys, wl_name):
-        return mixed_workload(list(keys), _MIX[wl_name], n_ops=args.ops, seed=args.seed)
-
-    hm = compute_heatmap(
-        data, build, MIX_NAMES,
-        learned=REGISTRY.factories(tag="core", learned=True),
-        traditional=REGISTRY.factories(tag="core", learned=False),
+    datasets = [DatasetSpec(n, args.n, args.seed) for n in names]
+    workloads = [WorkloadSpec.mixed(_MIX[m], n_ops=args.ops, seed=args.seed)
+                 for m in MIX_NAMES]
+    cache = SweepCache(args.cache_dir) if getattr(args, "cache_dir", "") else None
+    hm, report = sweep_heatmap(
+        datasets, workloads,
+        learned_names=REGISTRY.names(tag="core", learned=True),
+        traditional_names=REGISTRY.names(tag="core", learned=False),
+        jobs=args.jobs, cache=cache,
     )
     print(hm.render())
     print(f"\nlearned-index win fraction: {hm.learned_win_fraction():.0%}")
+    if report.jobs > 1 or report.cache_hits:
+        print(f"[sweep] {len(report.cells)} cells in {report.wall_seconds:.2f}s "
+              f"({report.cells_per_sec:.1f} cells/s, jobs={report.jobs}, "
+              f"{report.cache_hits} cache hits)")
+    return 0
+
+
+def _sweep_workload_specs(args) -> List:
+    from repro.core.sweep import WorkloadSpec
+
+    names = [w for w in args.workloads.split(",") if w]
+    try:
+        return [WorkloadSpec.from_name(w, n_ops=args.ops, seed=args.seed)
+                for w in names]
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+
+def cmd_sweep(args) -> int:
+    from repro.core.sweep import (
+        DatasetSpec,
+        SweepCache,
+        default_cache_dir,
+        plan_grid,
+        run_sweep,
+    )
+
+    ds_names = [d for d in args.datasets.split(",") if d]
+    for d in ds_names:  # fail fast on typos
+        try:
+            registry.get(d)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0]) from None
+    index_names = ([i for i in args.indexes.split(",") if i]
+                   if args.indexes else REGISTRY.names(tag="heatmap"))
+    if args.mode == "single":
+        for name in index_names:
+            if name not in _ALL_INDEXES and name not in REGISTRY:
+                raise SystemExit(
+                    f"unknown index {name!r}; use one of {sorted(_ALL_INDEXES)}")
+    datasets = [DatasetSpec(d, args.n, args.seed) for d in ds_names]
+    workloads = _sweep_workload_specs(args)
+    tasks = plan_grid(datasets, workloads, index_names, mode=args.mode,
+                      threads=args.threads, sockets=args.sockets)
+    cache = None
+    if not args.no_cache:
+        cache = SweepCache(args.cache_dir or default_cache_dir())
+    report = run_sweep(tasks, jobs=args.jobs, cache=cache)
+
+    if args.out:
+        from repro.core.results import save_jsonl
+
+        save_jsonl(report.records(), args.out, append=True)
+    if args.bench:
+        import json
+
+        with open(args.bench, "w") as f:
+            json.dump(report.to_dict(include_cells=False), f, indent=2)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    rows = [
+        [c.task.dataset.name, c.task.workload.label, c.task.index,
+         f"{c.throughput_mops:.3f}", "hit" if c.cached else "run"]
+        for c in report.cells
+    ]
+    print(table(["Dataset", "Workload", "Index", "Mops", "Cache"], rows,
+                title=f"Sweep: {len(report.cells)} cells"))
+    print(f"\n{len(report.cells)} cells in {report.wall_seconds:.2f}s "
+          f"({report.cells_per_sec:.1f} cells/s) — jobs={report.jobs}, "
+          f"{report.cache_hits} cache hits "
+          f"({report.cache_hit_rate:.0%}), {report.executed} executed")
+    if report.pool_error:
+        print(f"warning: process pool unavailable ({report.pool_error}); "
+              "ran serially")
     return 0
 
 
@@ -345,6 +424,51 @@ def build_parser() -> argparse.ArgumentParser:
     sp = sub.add_parser("heatmap", help="data x workload winner heatmap")
     sp.add_argument("--datasets", default="",
                     help="comma-separated (default: the paper's ten)")
+    sp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: REPRO_JOBS or 1; "
+                         "0 = one per CPU)")
+    sp.add_argument("--cache-dir", default="", dest="cache_dir",
+                    help="content-addressed result cache directory "
+                         "(default: no caching for heatmap)")
+    common(sp, dataset=False)
+
+    sp = sub.add_parser(
+        "sweep",
+        help="run a dataset x workload x index grid, in parallel with "
+             "content-addressed caching")
+    sp.add_argument("--datasets", default="covid,stack,genome",
+                    help="comma-separated dataset names")
+    sp.add_argument("--workloads", default=",".join(MIX_NAMES),
+                    help="comma-separated workload names "
+                         f"({MIX_NAMES} | ycsb-a..f | delete | scan[:SIZE])")
+    sp.add_argument("--indexes", default="",
+                    help="comma-separated index names (default: the "
+                         "heatmap contenders; concurrent names like "
+                         "ALEX+ with --mode multicore)")
+    sp.add_argument("--mode", choices=["single", "multicore"], default="single",
+                    help="execute cells single-threaded or on the "
+                         "simulated multicore")
+    sp.add_argument("--threads", type=int, default=24,
+                    help="simulated threads per cell (multicore mode)")
+    sp.add_argument("--sockets", type=int, default=1,
+                    help="simulated sockets (multicore mode)")
+    sp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes (default: REPRO_JOBS or 1; "
+                         "0 = one per CPU)")
+    sp.add_argument("--cache-dir", default="", dest="cache_dir",
+                    help="cache directory (default: REPRO_CACHE_DIR or "
+                         ".repro-cache/sweep)")
+    sp.add_argument("--no-cache", action="store_true",
+                    help="disable the result cache entirely")
+    sp.add_argument("--out", default="",
+                    help="append every cell's versioned result record "
+                         "to this JSON-lines file")
+    sp.add_argument("--bench", default="",
+                    help="write sweep performance stats (cells/sec, "
+                         "cache hit rate, wall seconds) to this JSON file")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable report (includes per-cell "
+                         "determinism fingerprints)")
     common(sp, dataset=False)
 
     sp = sub.add_parser("scalability", help="simulated multicore curves")
@@ -382,6 +506,7 @@ _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "heatmap": cmd_heatmap,
+    "sweep": cmd_sweep,
     "scalability": cmd_scalability,
     "memory": cmd_memory,
     "diagnose": cmd_diagnose,

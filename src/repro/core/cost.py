@@ -60,6 +60,14 @@ HASH = "hash"
 #: (``NODE_HOP``) because data arrays enjoy some locality/prefetch.
 CACHE_PROBE = "cache_probe"
 
+#: Version of the cost model: the set of cost kinds, the default
+#: weights, and the charging conventions in the index implementations.
+#: Bump whenever any of those change — virtual-clock results produced
+#: under different cost models are not comparable, and the sweep cache
+#: (:mod:`repro.core.sweep`) folds this number into every cache key so
+#: stale cells can never be served after a recalibration.
+COST_MODEL_VERSION = 1
+
 #: Virtual nanoseconds per unit.  Loosely calibrated: a DRAM miss is
 #: ~100ns, L1 arithmetic a few ns, an allocation ~150ns amortized.
 DEFAULT_WEIGHTS: Dict[str, float] = {

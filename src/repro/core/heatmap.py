@@ -6,14 +6,29 @@ paper's convention the cell value is a signed ratio:
 
 * negative (rendered ``L``) — a learned index wins by ``|value|×``,
 * positive (rendered ``T``) — a traditional index wins by ``value×``.
+
+Grid execution rides the sweep engine (:mod:`repro.core.sweep`):
+:func:`sweep_heatmap` expands (datasets × workloads × indexes) into
+independent tasks, runs them across processes with content-addressed
+caching, and aggregates winners; :func:`compute_heatmap` keeps the
+historical callable-based interface over the same aggregation for
+callers that hold concrete keys and factories.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.runner import execute
+from repro.core.sweep import (
+    DatasetSpec,
+    SweepCache,
+    SweepReport,
+    WorkloadSpec,
+    plan_grid,
+    run_sweep,
+)
 from repro.core.workloads import Workload
 from repro.indexes.base import OrderedIndex
 
@@ -62,9 +77,16 @@ class Heatmap:
         wins = sum(1 for c in self.cells.values() if c.learned_wins)
         return wins / max(len(self.cells), 1)
 
+    def winners(self) -> Dict[Tuple[str, str], str]:
+        """Per-cell winning index name (Figure 4's annotation)."""
+        return {
+            key: c.best_learned if c.learned_wins else c.best_traditional
+            for key, c in self.cells.items()
+        }
+
     def render(self) -> str:
         """ASCII rendering in the paper's layout (rows = datasets)."""
-        w = max(len(x) for x in self.workloads) + 2
+        w = max((len(x) for x in self.workloads), default=0) + 2
         lines = []
         header = " " * 10 + "".join(f"{x:>{w}}" for x in self.workloads)
         lines.append(header)
@@ -84,44 +106,121 @@ class Heatmap:
         return "\n".join(lines)
 
 
+def heatmap_from_throughputs(
+    datasets: Sequence[str],
+    workloads: Sequence[str],
+    throughputs: Dict[Tuple[str, str, str], float],
+    learned_names: Sequence[str],
+    traditional_names: Sequence[str],
+    on_cell: Optional[Callable[[HeatmapCell], None]] = None,
+) -> Heatmap:
+    """Aggregate per-(dataset, workload, index) throughputs into a heatmap.
+
+    Winner selection matches the historical loop: candidates are tried
+    in the given name order and ties keep the earlier index.  Cells
+    with no measured candidates are left out of the grid (rendered
+    ``-``).
+    """
+    hm = Heatmap(datasets=list(datasets), workloads=list(workloads))
+    for ds in datasets:
+        for wl in workloads:
+            best_l = _best(throughputs, ds, wl, learned_names)
+            best_t = _best(throughputs, ds, wl, traditional_names)
+            if best_l is None and best_t is None:
+                continue
+            cell = HeatmapCell(
+                dataset=ds,
+                workload=wl,
+                best_learned=best_l[0] if best_l else "",
+                best_traditional=best_t[0] if best_t else "",
+                learned_mops=best_l[1] if best_l else -1.0,
+                traditional_mops=best_t[1] if best_t else -1.0,
+            )
+            hm.cells[(ds, wl)] = cell
+            if on_cell is not None:
+                on_cell(cell)
+    return hm
+
+
+def _best(
+    throughputs: Dict[Tuple[str, str, str], float],
+    dataset: str,
+    workload: str,
+    names: Sequence[str],
+) -> Optional[Tuple[str, float]]:
+    best_name, best_mops = "", -1.0
+    found = False
+    for name in names:
+        mops = throughputs.get((dataset, workload, name))
+        if mops is None:
+            continue
+        found = True
+        if mops > best_mops:
+            best_name, best_mops = name, mops
+    return (best_name, best_mops) if found else None
+
+
 def compute_heatmap(
     dataset_keys: Dict[str, Sequence[int]],
     workload_builder: Callable[[Sequence[int], str], Workload],
     workload_names: Sequence[str],
     learned: Dict[str, IndexFactory],
     traditional: Dict[str, IndexFactory],
-    on_cell: Callable[[HeatmapCell], None] = None,
+    on_cell: Optional[Callable[[HeatmapCell], None]] = None,
 ) -> Heatmap:
-    """Run every index on every (dataset, workload) cell.
+    """Run every index on every (dataset, workload) cell, serially.
 
     ``workload_builder(keys, workload_name)`` constructs each workload;
-    factories build fresh index instances per run.
+    factories build fresh index instances per run.  This is the
+    callable-based interface — keys and factories are concrete values,
+    so cells execute in-process.  For parallel, cached grids expressed
+    by spec, use :func:`sweep_heatmap`.
     """
-    hm = Heatmap(datasets=list(dataset_keys), workloads=list(workload_names))
+    throughputs: Dict[Tuple[str, str, str], float] = {}
     for ds_name, keys in dataset_keys.items():
         for wl_name in workload_names:
             workload = workload_builder(keys, wl_name)
-            best_l = _best(learned, workload)
-            best_t = _best(traditional, workload)
-            cell = HeatmapCell(
-                dataset=ds_name,
-                workload=wl_name,
-                best_learned=best_l[0],
-                best_traditional=best_t[0],
-                learned_mops=best_l[1],
-                traditional_mops=best_t[1],
-            )
-            hm.cells[(ds_name, wl_name)] = cell
-            if on_cell is not None:
-                on_cell(cell)
-    return hm
+            for idx_name, factory in {**learned, **traditional}.items():
+                result = execute(factory(), workload)
+                throughputs[(ds_name, wl_name, idx_name)] = result.throughput_mops
+    return heatmap_from_throughputs(
+        list(dataset_keys), list(workload_names), throughputs,
+        learned_names=list(learned), traditional_names=list(traditional),
+        on_cell=on_cell,
+    )
 
 
-def _best(factories: Dict[str, IndexFactory], workload: Workload) -> Tuple[str, float]:
-    best_name, best_mops = "", -1.0
-    for name, factory in factories.items():
-        index = factory()
-        result = execute(index, workload)
-        if result.throughput_mops > best_mops:
-            best_name, best_mops = name, result.throughput_mops
-    return best_name, best_mops
+def sweep_heatmap(
+    datasets: Sequence[DatasetSpec],
+    workloads: Sequence[WorkloadSpec],
+    learned_names: Sequence[str],
+    traditional_names: Sequence[str],
+    jobs: Optional[int] = None,
+    cache: Optional[SweepCache] = None,
+    mode: str = "single",
+    threads: int = 1,
+    sockets: int = 1,
+    on_cell: Optional[Callable[[HeatmapCell], None]] = None,
+) -> Tuple[Heatmap, SweepReport]:
+    """The heatmap grid on the sweep engine: parallel, cached, by spec.
+
+    Expands (datasets × workloads × learned+traditional) into
+    :class:`~repro.core.sweep.SweepTask`s, executes them via
+    :func:`~repro.core.sweep.run_sweep` and aggregates winners.  With
+    ``mode="multicore"`` the names must be concurrent-variant names and
+    each cell replays on ``threads`` simulated cores (Figure 4).
+    """
+    names = [*learned_names, *traditional_names]
+    tasks = plan_grid(datasets, workloads, names,
+                      mode=mode, threads=threads, sockets=sockets)
+    report = run_sweep(tasks, jobs=jobs, cache=cache)
+    throughputs = {
+        (c.task.dataset.name, c.task.workload.label, c.task.index): c.throughput_mops
+        for c in report.cells
+    }
+    hm = heatmap_from_throughputs(
+        [d.name for d in datasets], [w.label for w in workloads], throughputs,
+        learned_names=learned_names, traditional_names=traditional_names,
+        on_cell=on_cell,
+    )
+    return hm, report

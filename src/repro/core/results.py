@@ -21,7 +21,8 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.core.runner import RunResult
+from repro.core.runner import InsertStats, LatencyStats, RunResult
+from repro.indexes.base import MemoryBreakdown
 
 #: Version stamped into every persisted record.  Bump when the record
 #: layout changes incompatibly; ``load_jsonl`` rejects newer versions.
@@ -38,6 +39,82 @@ def result_record(
     if tags:
         record["tags"] = dict(tags)
     return record
+
+
+def full_record(
+    result: RunResult,
+    tags: Optional[Dict[str, str]] = None,
+) -> dict:
+    """A *lossless* versioned record for one run.
+
+    :func:`result_record` is the compact artifact the CLI and CI
+    consume; it drops the latency moments (variance, max) and the raw
+    insert-stat sums.  The sweep engine's cache and worker transport
+    need the full :class:`RunResult` back, so this record adds the
+    missing fields.  :func:`result_from_record` inverts it exactly —
+    JSON round-trips Python floats bit-for-bit, which is what makes
+    cached and cross-process results byte-identical to in-process ones.
+    """
+    record = result_record(result, tags)
+    record["lookup_latency"].update(
+        variance=result.lookup_latency.variance, max=result.lookup_latency.max)
+    record["write_latency"].update(
+        variance=result.write_latency.variance, max=result.write_latency.max)
+    ist = result.insert_stats
+    record["insert_stats_raw"] = {
+        "inserts": ist.inserts,
+        "nodes_traversed": ist.nodes_traversed,
+        "keys_shifted": ist.keys_shifted,
+        "nodes_created": ist.nodes_created,
+        "smo_count": ist.smo_count,
+    }
+    return record
+
+
+def _latency_from_dict(d: Optional[dict]) -> LatencyStats:
+    d = d or {}
+    return LatencyStats(
+        count=d.get("count", 0),
+        mean=d.get("mean", 0.0),
+        p50=d.get("p50", 0.0),
+        p99=d.get("p99", 0.0),
+        p999=d.get("p999", 0.0),
+        variance=d.get("variance", 0.0),
+        max=d.get("max", 0.0),
+    )
+
+
+def result_from_record(record: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from a :func:`full_record` dict.
+
+    Records written by :func:`result_record` load too; the fields the
+    compact format drops come back zeroed.
+    """
+    raw = record.get("insert_stats_raw") or {}
+    mem = record.get("memory_bytes") or {}
+    return RunResult(
+        index_name=record.get("index", "?"),
+        workload_name=record.get("workload", "?"),
+        n_ops=record.get("n_ops", 0),
+        virtual_ns=record.get("virtual_ns", 0.0),
+        wall_seconds=record.get("wall_seconds", 0.0),
+        phase_ns=dict(record.get("phase_ns") or {}),
+        lookup_latency=_latency_from_dict(record.get("lookup_latency")),
+        write_latency=_latency_from_dict(record.get("write_latency")),
+        insert_stats=InsertStats(
+            inserts=raw.get("inserts", 0),
+            nodes_traversed=raw.get("nodes_traversed", 0.0),
+            keys_shifted=raw.get("keys_shifted", 0.0),
+            nodes_created=raw.get("nodes_created", 0.0),
+            smo_count=raw.get("smo_count", 0),
+        ),
+        memory=MemoryBreakdown(
+            inner=mem.get("inner", 0),
+            leaf=mem.get("leaf", 0),
+            metadata=mem.get("metadata", 0),
+        ),
+        scanned_entries=record.get("scanned_entries", 0),
+    )
 
 
 def save_jsonl(

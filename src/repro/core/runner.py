@@ -67,8 +67,20 @@ class LatencyStats:
                 rank += 1
             return s[max(rank, 1) - 1]
 
-        mean = sum(s) / n
-        var = sum((x - mean) ** 2 for x in s) / n
+        # One pass for both moments.  Sums are shifted by the minimum
+        # (s[0]) so the squared accumulator stays small relative to the
+        # data: var = E[(x-m)^2] - (E[x-m])^2 is exact in reals and
+        # numerically safe after the shift (all terms >= 0).
+        base = s[0]
+        s1 = 0.0
+        s2 = 0.0
+        for x in s:
+            d = x - base
+            s1 += d
+            s2 += d * d
+        m1 = s1 / n
+        mean = base + m1
+        var = max(s2 / n - m1 * m1, 0.0)
         return LatencyStats(
             count=n, mean=mean, p50=pct(0.50), p99=pct(0.99),
             p999=pct(0.999), variance=var, max=s[-1],

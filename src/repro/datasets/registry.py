@@ -11,10 +11,33 @@ The registry is the single entry point benchmarks use::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.hardness import pla_hardness
 from repro.datasets import real
+
+
+@lru_cache(maxsize=256)
+def _generate_cached(name: str, n: int, seed: int) -> Tuple[int, ...]:
+    """Memoized key generation, keyed on ``(name, n, seed)``.
+
+    Generators are deterministic in ``(n, seed)``, so regenerating the
+    same key array for every sweep cell or test is pure waste.  The
+    cache holds immutable tuples; :meth:`Dataset.generate` hands each
+    caller a fresh list so nobody can corrupt the shared copy.
+    """
+    return tuple(_DATASETS[name].generator(n, seed))
+
+
+def generation_cache_clear() -> None:
+    """Drop all memoized key arrays (tests, memory pressure)."""
+    _generate_cached.cache_clear()
+
+
+def generation_cache_info():
+    """``functools.lru_cache`` statistics for the generation cache."""
+    return _generate_cached.cache_info()
 
 
 def scaled_epsilons(n: int) -> Tuple[int, int]:
@@ -44,10 +67,19 @@ class Dataset:
     generator: Callable[[int, int], List[int]]
 
     def generate(self, n: int, seed: int = 0) -> List[int]:
-        """``n`` sorted keys (unique unless :attr:`has_duplicates`)."""
+        """``n`` sorted keys (unique unless :attr:`has_duplicates`).
+
+        Generation is memoized on ``(name, n, seed)`` process-wide, so
+        repeated calls across sweep cells and tests reuse one key
+        array; callers always receive their own mutable copy.
+        """
         if n <= 0:
             raise ValueError("n must be positive")
-        return self.generator(n, seed)
+        if _DATASETS.get(self.name) is not self:
+            # Ad-hoc Dataset instances (not registered) bypass the
+            # shared cache rather than poison it by name.
+            return self.generator(n, seed)
+        return list(_generate_cached(self.name, n, seed))
 
     def hardness(self, keys: List[int], epsilons: Optional[Tuple[int, int]] = None) -> Tuple[int, int]:
         """(global H, local H) of concrete keys, at scaled ε by default."""

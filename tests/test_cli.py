@@ -89,6 +89,59 @@ def test_heatmap_command_subset(capsys):
     assert "read-only" in out
 
 
+def test_sweep_command_cache_and_json(capsys, tmp_path):
+    import json
+
+    argv = ("sweep", "--datasets", "covid,stack",
+            "--workloads", "read-only,balanced", "--indexes", "ALEX,B+tree",
+            "--n", "1200", "--ops", "500", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache"))
+    code, out = _run(capsys, *argv)
+    assert code == 0
+    assert "8 cells" in out and "0 cache hits" in out
+
+    bench = tmp_path / "bench.json"
+    results = tmp_path / "cells.jsonl"
+    code, out = _run(capsys, *argv, "--json",
+                     "--bench", str(bench), "--out", str(results))
+    assert code == 0
+    report = json.loads(out)
+    assert report["cache_hits"] == 8 and report["executed"] == 0
+    assert len(report["cells"]) == 8
+    assert all(c["fingerprint"] for c in report["cells"])
+    stats = json.loads(bench.read_text())
+    assert stats["cache_hit_rate"] == 1.0
+
+    from repro.core.results import load_jsonl
+
+    records = load_jsonl(str(results))
+    assert len(records) == 8
+    assert {r["index"] for r in records} == {"ALEX", "B+tree"}
+
+
+def test_sweep_command_rejects_unknowns(capsys):
+    with pytest.raises(SystemExit):
+        main(["sweep", "--datasets", "not-a-dataset", "--no-cache"])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--datasets", "covid", "--workloads", "bogus",
+              "--no-cache"])
+    with pytest.raises(SystemExit):
+        main(["sweep", "--datasets", "covid", "--indexes", "NopeIndex",
+              "--no-cache"])
+
+
+def test_heatmap_command_with_jobs_flag(capsys, tmp_path):
+    code, out = _run(capsys, "heatmap", "--datasets", "covid",
+                     "--n", "1200", "--ops", "500", "--jobs", "1",
+                     "--cache-dir", str(tmp_path))
+    assert code == 0
+    assert "win fraction" in out
+    code, out = _run(capsys, "heatmap", "--datasets", "covid",
+                     "--n", "1200", "--ops", "500", "--jobs", "1",
+                     "--cache-dir", str(tmp_path))
+    assert "cache hits" in out  # second run reuses every cell
+
+
 def test_scalability_command(capsys):
     code, out = _run(capsys, "scalability", "--dataset", "covid",
                      "--workload", "balanced", "--threads", "2,8",

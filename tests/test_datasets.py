@@ -23,6 +23,31 @@ def test_all_generators_deterministic():
         assert a != c, name
 
 
+def test_generation_memoized_but_copies_isolated():
+    registry.generation_cache_clear()
+    before = registry.generation_cache_info()
+    a = registry.get("genome").generate(1500, seed=9)
+    mid = registry.generation_cache_info()
+    assert mid.misses == before.misses + 1
+    b = registry.get("genome").generate(1500, seed=9)
+    after = registry.generation_cache_info()
+    assert after.hits == mid.hits + 1       # second call served from cache
+    assert a == b and a is not b            # equal keys, caller-owned lists
+    b[0] = -1                               # mutating a copy...
+    assert registry.get("genome").generate(1500, seed=9)[0] == a[0]  # ...is safe
+
+
+def test_unregistered_dataset_bypasses_cache():
+    ds = registry.get("covid")
+    rogue = registry.Dataset(
+        name="covid", description="ad-hoc", source="test",
+        hardness_class="easy", has_duplicates=False,
+        generator=lambda n, seed: list(range(n)),
+    )
+    assert rogue.generate(10, seed=0) == list(range(10))
+    assert ds.generate(10, seed=0) != list(range(10))
+
+
 def test_all_generators_sorted_and_sized():
     for name in registry.names(include_duplicates=True):
         ds = registry.get(name)

@@ -44,6 +44,14 @@ def test_render_handles_missing_cells():
     assert "-" in hm.render()
 
 
+def test_render_handles_empty_workloads():
+    # max() over an empty workload list used to raise ValueError.
+    hm = Heatmap(datasets=["alpha"], workloads=[])
+    text = hm.render()
+    assert "alpha" in text
+    assert Heatmap(datasets=[], workloads=[]).render()
+
+
 def test_compute_heatmap_end_to_end():
     keys = list(range(0, 8000, 4))
 

@@ -91,6 +91,26 @@ def test_latency_stats_single_sample():
     assert s.p50 == s.p99 == s.p999 == s.max == 7.0
 
 
+def test_latency_stats_single_pass_moments_pinned():
+    # from_samples computes mean/variance in one pass (shifted sums);
+    # this pins the percentile values and checks both moments against
+    # the two-pass textbook definition on an outlier-heavy sample.
+    samples = [5.0, 1.0, 9.0, 3.0, 3.0, 7.0, 2.0, 8.0, 100.0, 4.0]
+    s = LatencyStats.from_samples(samples)
+    assert s.p50 == 4.0     # nearest rank: ceil(0.5 * 10) = 5 -> sorted[4]
+    assert s.p99 == 100.0
+    assert s.p999 == 100.0
+    assert s.max == 100.0
+    n = len(samples)
+    mean = sum(samples) / n
+    var = sum((x - mean) ** 2 for x in samples) / n
+    assert s.mean == pytest.approx(mean, rel=1e-12)
+    assert s.variance == pytest.approx(var, rel=1e-12)
+    # Constant samples: exactly zero variance, no negative rounding.
+    flat = LatencyStats.from_samples([42.0] * 32)
+    assert flat.variance == 0.0 and flat.mean == 42.0
+
+
 def _strip_wall(result):
     d = result.to_dict()
     d.pop("wall_seconds")
