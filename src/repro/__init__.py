@@ -25,6 +25,12 @@ from repro.core.hardness import (
     pla_hardness,
 )
 from repro.core.heatmap import Heatmap, compute_heatmap
+from repro.core.opstream import (
+    DifferentialObserver,
+    OpStream,
+    OracleReport,
+    run_oracle,
+)
 from repro.core.registry import REGISTRY, IndexRegistry, IndexSpec
 from repro.core.runner import (
     ExecutionEngine,
@@ -40,6 +46,7 @@ from repro.core.telemetry import (
     Telemetry,
     TraceRecorder,
 )
+from repro.core.validate import ValidationObserver, Violation, debug_validate
 from repro.core.workloads import (
     Workload,
     deletion_workload,
@@ -62,7 +69,7 @@ from repro.indexes.rmi import RMI
 from repro.indexes.wormhole import Wormhole
 from repro.indexes.xindex import XIndex
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Single-threaded index families as evaluated in Section 4.1 — derived
 #: views over the capability registry (see repro.core.registry).
@@ -72,11 +79,13 @@ TRADITIONAL_INDEXES = REGISTRY.factories(tag="core", learned=False)
 __all__ = [
     "ALEX", "ART", "BPlusTree", "FINEdex", "FITingTree", "HOT", "LIPP",
     "Masstree", "PGMIndex", "RMI", "Wormhole", "XIndex",
-    "CostMeter", "CostProfiler", "ExecutionEngine", "ExecutionObserver",
-    "Heatmap", "IndexRegistry", "IndexSpec", "MemoryBreakdown",
-    "MetricsCollector", "MetricsRegistry", "OpEvent",
-    "OrderedIndex", "REGISTRY", "RunResult", "Telemetry", "TraceRecorder",
-    "Workload", "compute_heatmap", "deletion_workload", "execute",
+    "CostMeter", "CostProfiler", "DifferentialObserver", "ExecutionEngine",
+    "ExecutionObserver", "Heatmap", "IndexRegistry", "IndexSpec",
+    "MemoryBreakdown", "MetricsCollector", "MetricsRegistry", "OpEvent",
+    "OpStream", "OracleReport", "OrderedIndex", "REGISTRY", "RunResult",
+    "Telemetry", "TraceRecorder", "ValidationObserver", "Violation",
+    "Workload", "compute_heatmap", "debug_validate", "deletion_workload",
+    "execute", "run_oracle",
     "global_hardness", "local_hardness", "mixed_workload", "mse_hardness",
     "optimal_pla", "pla_hardness", "scan_workload", "shift_workload",
     "ycsb_workload", "LEARNED_INDEXES", "TRADITIONAL_INDEXES",

@@ -354,6 +354,55 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    import os
+
+    from repro.core.opstream import fuzz_index, fuzzable_specs, replay_file
+
+    if args.replay:
+        paths = []
+        for p in args.replay:
+            if os.path.isdir(p):
+                paths += sorted(
+                    os.path.join(p, f) for f in os.listdir(p)
+                    if f.endswith(".jsonl"))
+            else:
+                paths.append(p)
+        failed = 0
+        for path in paths:
+            report = replay_file(path)
+            print(f"{path}: {report.describe()}")
+            failed += 0 if report.ok else 1
+        print(f"\nreplayed {len(paths)} stream(s), {failed} failing")
+        return 1 if failed else 0
+
+    if args.index:
+        specs = [REGISTRY.get(name) for name in args.index]
+        for spec in specs:
+            if not spec.supports_insert:
+                raise SystemExit(f"{spec.name} is read-only; nothing to fuzz")
+    else:
+        specs = fuzzable_specs()
+
+    failures = []
+    for spec in specs:
+        failure = fuzz_index(spec, budget=args.budget, seed=args.seed)
+        if failure is None:
+            print(f"{spec.name:12s} ok ({args.budget} ops)")
+            continue
+        failures.append(failure)
+        print(failure.describe())
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            dest = os.path.join(
+                args.out, f"{spec.name.replace('+', 'plus')}-seed{args.seed}.jsonl")
+            failure.stream.save(dest)
+            print(f"  shrunk stream saved to {dest}")
+    print(f"\nfuzzed {len(specs)} index(es) x {args.budget} ops: "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
 def cmd_compare_runs(args) -> int:
     from repro.core.results import ResultStore, compare
 
@@ -492,6 +541,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="hottest (op, phase, cost-kind) cells to show")
     common(sp, workload=True)
 
+    sp = sub.add_parser(
+        "fuzz",
+        help="randomized differential + invariant testing of the "
+             "registry indexes; failures shrink to minimal replayable "
+             "streams")
+    sp.add_argument("--index", action="append", default=[],
+                    help="fuzz only this index (repeatable; default: "
+                         "every fuzzable registry index)")
+    sp.add_argument("--all", action="store_true",
+                    help="fuzz every fuzzable index (the default; kept "
+                         "for explicit invocations)")
+    sp.add_argument("--budget", type=int, default=2000,
+                    help="operations per index")
+    sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--out", default="fuzz-failures",
+                    help="directory for shrunk failing streams "
+                         "('' disables saving)")
+    sp.add_argument("--replay", action="append", default=[],
+                    help="replay saved stream file(s)/director(ies) "
+                         "instead of fuzzing (repeatable)")
+
     sp = sub.add_parser("compare-runs",
                         help="regressions between two result files")
     sp.add_argument("baseline")
@@ -511,6 +581,7 @@ _COMMANDS = {
     "memory": cmd_memory,
     "diagnose": cmd_diagnose,
     "profile": cmd_profile,
+    "fuzz": cmd_fuzz,
     "compare-runs": cmd_compare_runs,
 }
 

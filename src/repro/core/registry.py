@@ -63,6 +63,7 @@ class IndexSpec:
     name: str
     factory: Callable[..., OrderedIndex]
     is_learned: bool
+    supports_insert: bool = True
     supports_delete: bool = True
     supports_range: bool = True
     supports_duplicates: bool = False
@@ -229,7 +230,8 @@ def _populate(reg: IndexRegistry) -> IndexRegistry:
     add("XIndex", XIndex, core_cli_hm)
     add("FINEdex", FINEdex, core_cli_hm)
     add("FITing-Tree", FITingTree, frozenset({TAG_CLI}))
-    add("RMI", RMI, frozenset())  # read-only baseline; no update catalogs
+    # Read-only baseline; no update catalogs, inserts raise.
+    add("RMI", RMI, frozenset(), supports_insert=False)
     # Traditional.
     add("B+tree", BPlusTree, core_cli_hm)
     add("ART", ART, core_cli_hm)

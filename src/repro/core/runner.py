@@ -206,6 +206,11 @@ class OpEvent:
     ok: bool
     #: Entries returned (scan ops only).
     scanned: int = 0
+    #: The operation's raw return value: the looked-up payload (or
+    #: ``None``), the scanned ``(key, value)`` list, ``None`` for
+    #: writes.  This is what lets a differential oracle compare an
+    #: index against a reference model without re-running the op.
+    result: object = None
 
 
 class ExecutionObserver:
@@ -295,7 +300,9 @@ class ExecutionEngine:
         self.observers: List[ExecutionObserver] = list(observers)
         if telemetry is not None:
             self.observers.extend(telemetry.observers())
-        self._dispatch: Dict[str, Callable[[OrderedIndex, Operation], Tuple[bool, int]]] = {
+        self._dispatch: Dict[
+            str, Callable[[OrderedIndex, Operation], Tuple[bool, int, object]]
+        ] = {
             LOOKUP: self._op_lookup,
             INSERT: self._op_insert,
             UPDATE: self._op_update,
@@ -308,26 +315,32 @@ class ExecutionEngine:
         return observer
 
     # -- op handlers (the dispatch table) --------------------------------------
+    #
+    # Each handler returns ``(ok, scanned, result)`` where ``result`` is
+    # the op's raw return value — surfaced to observers via
+    # ``OpEvent.result`` so differential oracles can compare payloads.
 
     @staticmethod
-    def _op_lookup(index: OrderedIndex, op: Operation) -> Tuple[bool, int]:
-        return index.lookup(op.key) is not None, 0
+    def _op_lookup(index: OrderedIndex, op: Operation) -> Tuple[bool, int, object]:
+        value = index.lookup(op.key)
+        return value is not None, 0, value
 
     @staticmethod
-    def _op_insert(index: OrderedIndex, op: Operation) -> Tuple[bool, int]:
-        return bool(index.insert(op.key, op.value)), 0
+    def _op_insert(index: OrderedIndex, op: Operation) -> Tuple[bool, int, object]:
+        return bool(index.insert(op.key, op.value)), 0, None
 
     @staticmethod
-    def _op_update(index: OrderedIndex, op: Operation) -> Tuple[bool, int]:
-        return bool(index.update(op.key, op.value)), 0
+    def _op_update(index: OrderedIndex, op: Operation) -> Tuple[bool, int, object]:
+        return bool(index.update(op.key, op.value)), 0, None
 
     @staticmethod
-    def _op_delete(index: OrderedIndex, op: Operation) -> Tuple[bool, int]:
-        return bool(index.delete(op.key)), 0
+    def _op_delete(index: OrderedIndex, op: Operation) -> Tuple[bool, int, object]:
+        return bool(index.delete(op.key)), 0, None
 
     @staticmethod
-    def _op_scan(index: OrderedIndex, op: Operation) -> Tuple[bool, int]:
-        return True, len(index.range_scan(op.key, op.count))
+    def _op_scan(index: OrderedIndex, op: Operation) -> Tuple[bool, int, object]:
+        rows = index.range_scan(op.key, op.count)
+        return True, len(rows), rows
 
     # -- the measured loop ------------------------------------------------------
 
@@ -358,13 +371,14 @@ class ExecutionEngine:
             sampled = (i % sample_every) == 0
             before = meter.total_time() if sampled else 0.0
             prev_record = index.last_op
-            ok, scanned = handler(index, op)
+            ok, scanned, result = handler(index, op)
             latency = meter.total_time() - before if sampled else None
             # Indexes assign a *new* OpRecord whenever they record an op,
             # so identity against the pre-op object detects staleness
             # (update/scan paths that never wrote last_op).
             record = index.last_op if index.last_op is not prev_record else None
-            event = OpEvent(seq=i, op=op, record=record, ok=ok, scanned=scanned)
+            event = OpEvent(seq=i, op=op, record=record, ok=ok, scanned=scanned,
+                            result=result)
             for obs in observers:
                 obs.on_op(event, latency)
             if (op.op == INSERT or op.op == DELETE) and record is not None and record.smo:

@@ -44,6 +44,7 @@ from repro.core.cost import (
     STATS_UPDATE,
     TRAIN_KEY,
 )
+from repro.core.validate import Violation, sorted_violations
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -833,6 +834,111 @@ class ALEX(OrderedIndex):
                 stack.extend(node.children)
             else:
                 out.append(node)
+        return out
+
+    # -- validation ---------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """Gapped-array invariants: sorted slots, gap copies of the
+        nearest occupied right neighbour, present-bitmap accounting,
+        the post-SMO density ceiling, the doubly linked leaf chain,
+        and model routing (every stored key must descend back to the
+        leaf that holds it).  Walks nodes directly; never charges the
+        meter.
+        """
+        out: List[Violation] = []
+        ordered: List[_DataNode] = []
+
+        def walk(node: Any) -> None:
+            if isinstance(node, _DataNode):
+                ordered.append(node)
+                return
+            prev_child = None
+            for child in node.children:
+                if child is prev_child:
+                    continue  # adjacent slots may share one child
+                prev_child = child
+                walk(child)
+
+        walk(self._root)
+
+        for node in ordered:
+            cap = node.capacity
+            if not (len(node.values) == len(node.present) == cap):
+                out.append(Violation(
+                    node.node_id, "alex.slot-arrays",
+                    f"keys/values/present lengths {cap}/"
+                    f"{len(node.values)}/{len(node.present)} differ"))
+                continue
+            occupied = sum(1 for p in node.present if p)
+            if occupied != node.num_keys:
+                out.append(Violation(
+                    node.node_id, "alex.present-count",
+                    f"num_keys={node.num_keys} but {occupied} slots "
+                    f"are present"))
+            out.extend(sorted_violations(
+                node.keys, node.node_id, "alex.keys-sorted", strict=False))
+            # Gap copies: scanning right-to-left, a gap must repeat the
+            # nearest occupied key to its right (_GAP_HIGH past the end).
+            expect = _GAP_HIGH
+            for i in range(cap - 1, -1, -1):
+                if node.present[i]:
+                    expect = node.keys[i]
+                elif node.keys[i] != expect:
+                    out.append(Violation(
+                        node.node_id, "alex.gap-copy",
+                        f"gap slot {i} holds {node.keys[i]}, expected a "
+                        f"copy of {expect}"))
+                    break
+            if node.density() > self.max_density + 1e-9:
+                out.append(Violation(
+                    node.node_id, "alex.density",
+                    f"density {node.density():.3f} exceeds max_density "
+                    f"{self.max_density} (missed SMO)"))
+
+        # Leaf chain: prev/next must thread the in-order leaves exactly.
+        for i, node in enumerate(ordered):
+            before = ordered[i - 1] if i > 0 else None
+            after = ordered[i + 1] if i + 1 < len(ordered) else None
+            if node.prev is not before or node.next is not after:
+                out.append(Violation(
+                    node.node_id, "alex.leaf-chain",
+                    "prev/next links disagree with in-order traversal"))
+                break
+
+        # Cross-leaf ordering + model routing + size accounting.
+        strict = self.duplicate_mode is None
+        last_key: Optional[Key] = None
+        total = 0
+        for node in ordered:
+            for i in range(node.capacity):
+                if not node.present[i]:
+                    continue
+                k = node.keys[i]
+                if last_key is not None and (
+                        k < last_key or (strict and k == last_key)):
+                    out.append(Violation(
+                        node.node_id, "alex.chain-order",
+                        f"key {k} not above previous leaf key {last_key}"))
+                last_key = k
+                v = node.values[i]
+                total += len(v.values) if isinstance(v, _DupChain) else 1
+            for k, _ in node.occupied_items():
+                cur = self._root
+                while isinstance(cur, _InnerNode):
+                    cur = cur.children[cur.child_slot(k)]
+                if cur is not node:
+                    out.append(Violation(
+                        node.node_id, "alex.routing",
+                        f"key {k} routes to node "
+                        f"{getattr(cur, 'node_id', '?')} instead of its "
+                        f"holder"))
+                    break
+        if total != self._size:
+            out.append(Violation(
+                0, "alex.size",
+                f"leaves hold {total} entries but len(index) == "
+                f"{self._size}"))
         return out
 
 

@@ -28,6 +28,7 @@ from repro.core.cost import (
     PHASE_TRAVERSE,
     SCAN_ENTRY,
 )
+from repro.core.validate import Violation, sorted_violations
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -436,6 +437,63 @@ class ART(OrderedIndex):
                 inner += _tier_bytes(_tier(len(node.bytes_))) + len(node.prefix)
                 stack.extend(node.children)
         return MemoryBreakdown(inner=inner, leaf=leaf)
+
+    # -- validation ---------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """Radix invariants: discriminating bytes strictly sorted and
+        parallel to the child array, no single-child inner nodes (path
+        compression would have folded them), every root-to-leaf byte
+        path a prefix of the leaf's big-endian key (radix-prefix
+        consistency), paths within the 8-byte key length, and leaf
+        count matching ``len(index)``.  Walks nodes directly; never
+        charges the meter.
+        """
+        out: List[Violation] = []
+        count = 0
+
+        def walk(node: Any, path: bytes) -> None:
+            nonlocal count
+            if isinstance(node, _ArtLeaf):
+                count += 1
+                kb = _key_bytes(node.key)
+                if not kb.startswith(path):
+                    out.append(Violation(
+                        0, "art.prefix-path",
+                        f"leaf key {node.key} ({kb.hex()}) does not "
+                        f"extend its path {path.hex()}"))
+                return
+            if len(node.bytes_) != len(node.children):
+                out.append(Violation(
+                    node.node_id, "art.parallel-arrays",
+                    f"{len(node.bytes_)} bytes vs "
+                    f"{len(node.children)} children"))
+                return
+            if len(node.bytes_) < 2:
+                out.append(Violation(
+                    node.node_id, "art.min-children",
+                    f"inner node has {len(node.bytes_)} children; path "
+                    f"compression requires >= 2"))
+            out.extend(sorted_violations(
+                node.bytes_, node.node_id, "art.bytes-sorted",
+                what="bytes_"))
+            base = path + node.prefix
+            if len(base) >= KEY_BYTES:
+                out.append(Violation(
+                    node.node_id, "art.depth",
+                    f"path length {len(base)} leaves no room for a "
+                    f"discriminating byte in an {KEY_BYTES}-byte key"))
+                return
+            for b, child in zip(node.bytes_, node.children):
+                walk(child, base + bytes([b]))
+
+        if self._root is not None:
+            walk(self._root, b"")
+        if count != self._size:
+            out.append(Violation(
+                0, "art.size",
+                f"{count} leaves but len(index) == {self._size}"))
+        return out
 
     @property
     def height(self) -> int:

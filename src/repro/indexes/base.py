@@ -20,9 +20,21 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    ClassVar,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.cost import CostMeter
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.validate import Violation
 
 Key = int
 Value = Any
@@ -137,6 +149,25 @@ class OrderedIndex(ABC):
     @abstractmethod
     def memory_usage(self) -> MemoryBreakdown:
         """Analytic end-to-end size (modelled C++ layout)."""
+
+    def debug_validate(self) -> List["Violation"]:
+        """Full structural-invariant walk; ``[]`` means sound.
+
+        Every index in the registry overrides this with checks specific
+        to its structure (gap copies for ALEX, precise positions for
+        LIPP, ε-bounds for the PLA family, ...), returning
+        :class:`~repro.core.validate.Violation` records rather than
+        asserting.  Implementations must walk node structures directly
+        — never through ``lookup``/``range_scan`` — so validation can
+        run mid-benchmark without charging the cost meter.  The default
+        checks only the size floor shared by all implementations.
+        """
+        from repro.core.validate import Violation
+
+        if self._size < 0:
+            return [Violation(0, "index.size-negative",
+                              f"_size is {self._size}")]
+        return []
 
     def __len__(self) -> int:
         return self._size

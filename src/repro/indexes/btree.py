@@ -25,6 +25,7 @@ from repro.core.cost import (
     SCAN_ENTRY,
     SLOT_INIT,
 )
+from repro.core.validate import Violation, range_violation, sorted_violations
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -401,3 +402,86 @@ class BPlusTree(OrderedIndex):
     @property
     def height(self) -> int:
         return self._height
+
+    # -- validation --------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """Structural walk: key order, fill bounds, separator ranges,
+        balance, the leaf side-link chain, and size accounting.
+
+        Separator semantics match ``_descend`` (equal keys go right):
+        every key in ``children[i]`` is ``< keys[i]`` and every key in
+        ``children[i+1]`` is ``>= keys[i]``.  Walks nodes directly;
+        never charges the meter.
+        """
+        out: List[Violation] = []
+        leaves: List[_Leaf] = []
+        depths: set = set()
+
+        def walk(node: _Node, lo: Optional[Key], hi: Optional[Key],
+                 depth: int) -> None:
+            out.extend(sorted_violations(
+                node.keys, node.node_id, "btree.keys-sorted"))
+            out.extend(range_violation(
+                node.keys, lo, hi, node.node_id, "btree.key-range"))
+            if isinstance(node, _Inner):
+                if len(node.children) != len(node.keys) + 1:
+                    out.append(Violation(
+                        node.node_id, "btree.child-count",
+                        f"{len(node.keys)} keys but "
+                        f"{len(node.children)} children"))
+                    return
+                if len(node.children) > self.fanout:
+                    out.append(Violation(
+                        node.node_id, "btree.inner-fill",
+                        f"{len(node.children)} children exceeds fanout "
+                        f"{self.fanout}"))
+                if depth > 1 and not node.children:
+                    out.append(Violation(
+                        node.node_id, "btree.node-empty",
+                        "non-root inner node has no children"))
+                bounds: List[Optional[Key]] = [lo, *node.keys, hi]
+                for i, child in enumerate(node.children):
+                    walk(child, bounds[i], bounds[i + 1], depth + 1)
+            else:
+                leaf = node  # type: _Leaf
+                if len(leaf.keys) != len(leaf.values):
+                    out.append(Violation(
+                        leaf.node_id, "btree.leaf-arrays",
+                        f"{len(leaf.keys)} keys vs "
+                        f"{len(leaf.values)} values"))
+                if len(leaf.keys) > self.fanout:
+                    out.append(Violation(
+                        leaf.node_id, "btree.leaf-fill",
+                        f"{len(leaf.keys)} keys exceeds fanout "
+                        f"{self.fanout}"))
+                if depth > 1 and not leaf.keys:
+                    out.append(Violation(
+                        leaf.node_id, "btree.node-empty",
+                        "non-root leaf holds no keys"))
+                depths.add(depth)
+                leaves.append(leaf)
+
+        walk(self._root, None, None, 1)
+        if len(depths) > 1:
+            out.append(Violation(
+                self._root.node_id, "btree.balance",
+                f"leaves at depths {sorted(depths)}"))
+        if depths and max(depths) != self._height:
+            out.append(Violation(
+                self._root.node_id, "btree.height",
+                f"_height={self._height} but leaves sit at depth "
+                f"{max(depths)}"))
+        for i, leaf in enumerate(leaves):
+            expect = leaves[i + 1] if i + 1 < len(leaves) else None
+            if leaf.next is not expect:
+                out.append(Violation(
+                    leaf.node_id, "btree.leaf-chain",
+                    "side link does not point at the next in-order leaf"))
+                break
+        total = sum(len(leaf.keys) for leaf in leaves)
+        if total != self._size:
+            out.append(Violation(
+                self._root.node_id, "btree.size",
+                f"leaves hold {total} keys but len(index) == {self._size}"))
+        return out

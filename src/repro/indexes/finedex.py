@@ -35,6 +35,13 @@ from repro.core.cost import (
     TRAIN_KEY,
 )
 from repro.core.hardness import optimal_pla
+from repro.core.validate import (
+    Violation,
+    first_inversion,
+    range_violation,
+    residual_violations,
+    sorted_violations,
+)
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -276,3 +283,86 @@ class FINEdex(OrderedIndex):
 
     def segment_count(self) -> int:
         return len(self._segments)
+
+    # -- validation ---------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """Segment-and-bin invariants: strictly increasing pivots with
+        the first anchored at 0, trained arrays sorted and within their
+        pivot range, every bin attached to a valid position with its
+        contents strictly inside the open interval between the
+        neighbouring trained keys, bin sizes within ``bin_capacity``
+        (an overflow must have retrained), the ``bin_entries`` counter
+        exact, model residuals within ε over the trained keys, and a
+        globally sorted merged iteration.  Walks segments directly;
+        never charges the meter.
+        """
+        out: List[Violation] = []
+        segs = self._segments
+        if not segs:
+            return [Violation(0, "finedex.pivot-order",
+                              "index has no segments at all")]
+        if segs[0].first_key != 0:
+            out.append(Violation(
+                segs[0].node_id, "finedex.pivot-order",
+                f"first pivot is {segs[0].first_key}, expected 0"))
+        out.extend(sorted_violations(
+            [s.first_key for s in segs], 0, "finedex.pivot-order",
+            what="pivots"))
+        total = 0
+        for si, seg in enumerate(segs):
+            hi = segs[si + 1].first_key if si + 1 < len(segs) else None
+            out.extend(sorted_violations(
+                seg.keys, seg.node_id, "finedex.keys-sorted"))
+            out.extend(range_violation(
+                seg.keys, seg.first_key, hi, seg.node_id,
+                "finedex.key-range"))
+            if len(seg.keys) != len(seg.values):
+                out.append(Violation(
+                    seg.node_id, "finedex.arrays",
+                    f"{len(seg.keys)} keys vs {len(seg.values)} values"))
+            if seg.keys:
+                out.extend(residual_violations(
+                    seg.model, seg.keys, 0, self.epsilon, seg.node_id,
+                    "finedex.epsilon"))
+            entries = 0
+            for b, bin_ in seg.bins.items():
+                entries += len(bin_)
+                if not -1 <= b < max(len(seg.keys), 1):
+                    out.append(Violation(
+                        seg.node_id, "finedex.bin-position",
+                        f"bin attached at position {b} of a segment "
+                        f"with {len(seg.keys)} trained keys"))
+                    continue
+                if len(bin_) > self.bin_capacity:
+                    out.append(Violation(
+                        seg.node_id, "finedex.bin-capacity",
+                        f"bin {b} holds {len(bin_)} > bin_capacity "
+                        f"{self.bin_capacity} (missed retrain)"))
+                bkeys = [k for k, _ in bin_]
+                out.extend(sorted_violations(
+                    bkeys, seg.node_id, "finedex.bin-sorted",
+                    what=f"bins[{b}]"))
+                blo = seg.keys[b] + 1 if b >= 0 else seg.first_key
+                bhi = seg.keys[b + 1] if b + 1 < len(seg.keys) else hi
+                out.extend(range_violation(
+                    bkeys, blo, bhi, seg.node_id, "finedex.bin-range"))
+            if entries != seg.bin_entries:
+                out.append(Violation(
+                    seg.node_id, "finedex.bin-count",
+                    f"bin_entries counter {seg.bin_entries} but bins "
+                    f"hold {entries}"))
+            merged = [k for k, _ in self._iter_segment(seg)]
+            i = first_inversion(merged, strict=True)
+            if i >= 0:
+                out.append(Violation(
+                    seg.node_id, "finedex.order",
+                    f"merged iteration inverts at position {i}: "
+                    f"{merged[i]} >= {merged[i + 1]}"))
+            total += len(seg.keys) + entries
+        if total != self._size:
+            out.append(Violation(
+                0, "finedex.size",
+                f"segments hold {total} keys but len(index) == "
+                f"{self._size}"))
+        return out

@@ -41,6 +41,12 @@ from repro.core.cost import (
     charge_binary_search,
 )
 from repro.core.hardness import optimal_pla
+from repro.core.validate import (
+    Violation,
+    range_violation,
+    residual_violations,
+    sorted_violations,
+)
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -284,6 +290,83 @@ class FITingTree(OrderedIndex):
             leaf += len(seg.keys) * (KEY_BYTES + PAYLOAD_BYTES)
             leaf += self.buffer_size * (KEY_BYTES + PAYLOAD_BYTES)  # buffer arena
         return MemoryBreakdown(inner=inner, leaf=leaf)
+
+    def debug_validate(self) -> List[Violation]:
+        """Segment/buffer invariants plus full validation of the inner
+        routing B+-tree: strictly increasing pivots anchored at 0,
+        trained and buffered arrays sorted and within the pivot range,
+        buffers within ``buffer_size`` (an overflow must have merged),
+        no key both trained and buffered, ε-bounded model residuals,
+        and the router's leaves mirroring the segment pivot list
+        exactly.  Router violations are re-reported under their
+        ``btree.*`` rule names.  Never charges the meter.
+        """
+        out: List[Violation] = []
+        segs = self._segments
+        if not segs:
+            return [Violation(0, "fiting.pivot-order",
+                              "index has no segments at all")]
+        if segs[0].first_key != 0:
+            out.append(Violation(
+                segs[0].node_id, "fiting.pivot-order",
+                f"first pivot is {segs[0].first_key}, expected 0"))
+        out.extend(sorted_violations(
+            [s.first_key for s in segs], 0, "fiting.pivot-order",
+            what="pivots"))
+        total = 0
+        for si, seg in enumerate(segs):
+            hi = segs[si + 1].first_key if si + 1 < len(segs) else None
+            out.extend(sorted_violations(
+                seg.keys, seg.node_id, "fiting.keys-sorted"))
+            out.extend(sorted_violations(
+                seg.buf_keys, seg.node_id, "fiting.buffer-sorted",
+                what="buf_keys"))
+            for keys in (seg.keys, seg.buf_keys):
+                out.extend(range_violation(
+                    keys, seg.first_key, hi, seg.node_id,
+                    "fiting.key-range"))
+            if (len(seg.keys) != len(seg.values)
+                    or len(seg.buf_keys) != len(seg.buf_values)):
+                out.append(Violation(
+                    seg.node_id, "fiting.arrays",
+                    "key and value arrays have different lengths"))
+            if len(seg.buf_keys) > self.buffer_size:
+                out.append(Violation(
+                    seg.node_id, "fiting.buffer-bound",
+                    f"buffer holds {len(seg.buf_keys)} > buffer_size "
+                    f"{self.buffer_size} (missed merge)"))
+            dup = set(seg.keys) & set(seg.buf_keys)
+            if dup:
+                out.append(Violation(
+                    seg.node_id, "fiting.buffer-shadow",
+                    f"key(s) {sorted(dup)[:3]} both trained and "
+                    f"buffered"))
+            if seg.keys:
+                out.extend(residual_violations(
+                    seg.model, seg.keys, 0, self.epsilon, seg.node_id,
+                    "fiting.epsilon"))
+            total += len(seg.keys) + len(seg.buf_keys)
+        if total != self._size:
+            out.append(Violation(
+                0, "fiting.size",
+                f"segments hold {total} keys but len(index) == "
+                f"{self._size}"))
+        # The router is itself an OrderedIndex: validate it in full,
+        # then check it stays in sync with the segment list.
+        out.extend(self._router.debug_validate())
+        router_keys: List[Key] = []
+        leaf = self._router._root
+        while hasattr(leaf, "children"):  # descend to the leftmost leaf
+            leaf = leaf.children[0]
+        while leaf is not None:
+            router_keys.extend(leaf.keys)
+            leaf = leaf.next
+        if router_keys != [s.first_key for s in segs]:
+            out.append(Violation(
+                0, "fiting.router-sync",
+                f"router holds {len(router_keys)} pivots but the index "
+                f"has {len(segs)} segments (or pivots differ)"))
+        return out
 
     def segment_count(self) -> int:
         return len(self._segments)

@@ -30,6 +30,7 @@ from repro.core.cost import (
     SCAN_ENTRY,
     SLOT_PROBE,
 )
+from repro.core.validate import Violation
 from repro.indexes.base import (
     POINTER_BYTES,
     Key,
@@ -251,6 +252,60 @@ class HOT(OrderedIndex):
         else:
             yield from self._iter_from(node.left, start, True)
             yield from self._iter_from(node.right, start, False)
+
+    # -- validation ---------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """Binary-trie invariants: crit-bit positions strictly increase
+        along every root-to-leaf path, each leaf's key matches every
+        (crit, side) constraint accumulated on its path (left subtree
+        bit 0, right bit 1 — the radix-prefix property), cached
+        ``min_key`` equals the true subtree minimum, and leaf count
+        matches ``len(index)``.  Walks nodes directly; never charges
+        the meter.
+        """
+        out: List[Violation] = []
+        count = 0
+
+        def walk(node: Any, constraints: List[Tuple[int, int]]) -> Key:
+            nonlocal count
+            if isinstance(node, _HotLeaf):
+                count += 1
+                for crit, side in constraints:
+                    if _bit(node.key, crit) != side:
+                        out.append(Violation(
+                            0, "hot.bit-partition",
+                            f"leaf key {node.key} has bit {crit} == "
+                            f"{_bit(node.key, crit)} but sits on the "
+                            f"{'right' if side else 'left'} side"))
+                        break
+                return node.key
+            if constraints and node.crit <= constraints[-1][0]:
+                out.append(Violation(
+                    node.node_id, "hot.crit-order",
+                    f"crit bit {node.crit} not below parent crit "
+                    f"{constraints[-1][0]}"))
+            if node.crit < 0 or node.crit >= _KEY_BITS:
+                out.append(Violation(
+                    node.node_id, "hot.crit-order",
+                    f"crit bit {node.crit} outside 0..{_KEY_BITS - 1}"))
+            lmin = walk(node.left, constraints + [(node.crit, 0)])
+            rmin = walk(node.right, constraints + [(node.crit, 1)])
+            true_min = min(lmin, rmin)
+            if node.min_key != true_min:
+                out.append(Violation(
+                    node.node_id, "hot.min-key",
+                    f"cached min_key {node.min_key} but subtree minimum "
+                    f"is {true_min}"))
+            return true_min
+
+        if self._root is not None:
+            walk(self._root, [])
+        if count != self._size:
+            out.append(Violation(
+                0, "hot.size",
+                f"{count} leaves but len(index) == {self._size}"))
+        return out
 
     # -- memory ----------------------------------------------------------------
 

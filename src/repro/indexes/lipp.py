@@ -57,6 +57,7 @@ from repro.indexes.base import (
     OrderedIndex,
     Value,
 )
+from repro.core.validate import Violation, first_inversion
 from repro.indexes.linear_model import LinearModel, fmcd_model
 
 _EMPTY = 0
@@ -437,6 +438,71 @@ class LIPP(OrderedIndex):
         )
 
     # -- introspection ------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """LIPP's defining invariants: *precise positions* (every data
+        slot sits exactly where the node's model predicts its key),
+        child routing (every key in a child subtree predicts the slot
+        that holds the child), per-subtree size counters, a globally
+        sorted traversal, and tag/value consistency.  Walks nodes
+        directly; never charges the meter.
+        """
+        out: List[Violation] = []
+
+        def walk(node: _LippNode) -> int:
+            data = 0
+            for s in range(node.capacity):
+                tag = node.tags[s]
+                if tag == _DATA:
+                    data += 1
+                    pred = node.model.predict_clamped(
+                        node.keys[s], node.capacity)
+                    if pred != s:
+                        out.append(Violation(
+                            node.node_id, "lipp.precise-position",
+                            f"key {node.keys[s]} stored in slot {s} but "
+                            f"model predicts {pred}"))
+                elif tag == _CHILD:
+                    child = node.values[s]
+                    if not isinstance(child, _LippNode):
+                        out.append(Violation(
+                            node.node_id, "lipp.tag-value",
+                            f"slot {s} tagged CHILD but holds "
+                            f"{type(child).__name__}"))
+                        continue
+                    for k, _ in self._iter_subtree(child):
+                        pred = node.model.predict_clamped(k, node.capacity)
+                        if pred != s:
+                            out.append(Violation(
+                                node.node_id, "lipp.child-routing",
+                                f"key {k} in child under slot {s} but "
+                                f"model predicts slot {pred}"))
+                            break
+                    data += walk(child)
+                elif tag != _EMPTY:
+                    out.append(Violation(
+                        node.node_id, "lipp.tag-value",
+                        f"slot {s} has unknown tag {tag}"))
+            if node.size != data:
+                out.append(Violation(
+                    node.node_id, "lipp.subtree-size",
+                    f"size counter {node.size} but subtree holds "
+                    f"{data} keys"))
+            return data
+
+        total = walk(self._root)
+        if total != self._size:
+            out.append(Violation(
+                self._root.node_id, "lipp.size",
+                f"tree holds {total} keys but len(index) == {self._size}"))
+        keys = [k for k, _ in self._iter_subtree(self._root)]
+        i = first_inversion(keys, strict=True)
+        if i >= 0:
+            out.append(Violation(
+                self._root.node_id, "lipp.order",
+                f"in-order traversal inverts at position {i}: "
+                f"{keys[i]} >= {keys[i + 1]}"))
+        return out
 
     def node_count(self) -> int:
         n = 0

@@ -36,6 +36,11 @@ from repro.core.cost import (
     SCAN_ENTRY,
     SLOT_PROBE,
 )
+from repro.core.validate import (
+    Violation,
+    range_violation,
+    sorted_violations,
+)
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -314,3 +319,79 @@ class Masstree(OrderedIndex):
                     + 2 * POINTER_BYTES
                 )
         return MemoryBreakdown(inner=inner, leaf=leaf)
+
+    # -- validation ---------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """Permutation-border invariants: ``perm`` a true permutation of
+        the physical slots, logical order strictly sorted, fanout
+        bounds on borders and interiors, separator key ranges matching
+        ``_descend``'s equal-goes-right routing, the border side-link
+        chain threading the in-order leaves, and size accounting.
+        Walks nodes directly; never charges the meter.
+        """
+        out: List[Violation] = []
+        borders: List[_Border] = []
+
+        def walk(node: Any, lo: Optional[Key], hi: Optional[Key]) -> None:
+            if isinstance(node, _Interior):
+                out.extend(sorted_violations(
+                    node.keys, node.node_id, "mass.keys-sorted"))
+                out.extend(range_violation(
+                    node.keys, lo, hi, node.node_id, "mass.key-range"))
+                if len(node.children) != len(node.keys) + 1:
+                    out.append(Violation(
+                        node.node_id, "mass.child-count",
+                        f"{len(node.keys)} keys but "
+                        f"{len(node.children)} children"))
+                    return
+                if len(node.children) > _FANOUT + 1:
+                    out.append(Violation(
+                        node.node_id, "mass.fanout",
+                        f"{len(node.children)} children exceeds fanout"))
+                bounds: List[Optional[Key]] = [lo, *node.keys, hi]
+                for i, child in enumerate(node.children):
+                    walk(child, bounds[i], bounds[i + 1])
+                return
+            border = node
+            n = len(border.keys)
+            if len(border.values) != n or len(border.perm) != n:
+                out.append(Violation(
+                    border.node_id, "mass.perm",
+                    f"keys/values/perm lengths {n}/{len(border.values)}/"
+                    f"{len(border.perm)} differ"))
+                return
+            if sorted(border.perm) != list(range(n)):
+                out.append(Violation(
+                    border.node_id, "mass.perm",
+                    f"perm {border.perm} is not a permutation of "
+                    f"0..{n - 1}"))
+                return
+            if n > _FANOUT:
+                out.append(Violation(
+                    border.node_id, "mass.fanout",
+                    f"border holds {n} keys, fanout is {_FANOUT}"))
+            logical = [border.logical_key(r) for r in range(n)]
+            out.extend(sorted_violations(
+                logical, border.node_id, "mass.logical-order",
+                what="logical keys"))
+            out.extend(range_violation(
+                logical, lo, hi, border.node_id, "mass.key-range"))
+            borders.append(border)
+
+        walk(self._root, None, None)
+        for i, border in enumerate(borders):
+            expect = borders[i + 1] if i + 1 < len(borders) else None
+            if border.next is not expect:
+                out.append(Violation(
+                    border.node_id, "mass.border-chain",
+                    "side link does not point at the next in-order "
+                    "border"))
+                break
+        total = sum(len(b.keys) for b in borders)
+        if total != self._size:
+            out.append(Violation(
+                0, "mass.size",
+                f"borders hold {total} keys but len(index) == "
+                f"{self._size}"))
+        return out

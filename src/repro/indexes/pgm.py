@@ -40,6 +40,12 @@ from repro.core.cost import (
     TRAIN_KEY,
 )
 from repro.core.hardness import Segment, optimal_pla
+from repro.core.validate import (
+    Violation,
+    residual_violations,
+    segment_partition_violations,
+    sorted_violations,
+)
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -412,3 +418,65 @@ class PGMIndex(OrderedIndex):
 
     def run_sizes(self) -> List[int]:
         return [len(r) if r is not None else 0 for r in self._runs]
+
+    # -- validation ---------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """LSM/PLA invariants: every run's packed keys strictly sorted,
+        each PLA level a contiguous partition of the level below with
+        matching ``first_key`` anchors and a single top segment, every
+        segment's residual within its ε bound, and (in strict-duplicate
+        mode) live-key accounting across buffer-over-runs shadowing.
+        ``node_id`` reports the run's position in ``_runs``.  Walks
+        arrays directly; never charges the meter.
+        """
+        out: List[Violation] = []
+        for ri, run in enumerate(self._runs):
+            if run is None or len(run) == 0:
+                continue
+            out.extend(sorted_violations(
+                run.keys, ri, "pgm.run-sorted"))
+            if not run.levels:
+                out.append(Violation(
+                    ri, "pgm.levels", "non-empty run has no PLA levels"))
+                continue
+            if len(run.levels[-1]) != 1:
+                out.append(Violation(
+                    ri, "pgm.levels",
+                    f"top level has {len(run.levels[-1])} segments, "
+                    f"expected 1"))
+            base: List[Key] = run.keys
+            for depth, level in enumerate(run.levels):
+                out.extend(segment_partition_violations(
+                    level, len(base), ri, "pgm.levels"))
+                for seg in level:
+                    if (seg.first_index < len(base)
+                            and seg.first_key != base[seg.first_index]):
+                        out.append(Violation(
+                            ri, "pgm.levels",
+                            f"level {depth} segment anchors first_key "
+                            f"{seg.first_key} but rank {seg.first_index} "
+                            f"holds {base[seg.first_index]}"))
+                        break
+                    out.extend(residual_violations(
+                        seg.model,
+                        base[seg.first_index:seg.first_index + seg.length],
+                        seg.first_index, run.epsilon, ri, "pgm.epsilon"))
+                base = [seg.first_key for seg in level]
+        if self.check_duplicates:
+            # Newest-first shadowing: buffer wins, then shallower runs.
+            live: dict = {}
+            for k, v in self._buffer.items():
+                live.setdefault(k, v)
+            for run in self._runs:
+                if run is None:
+                    continue
+                for k, v in zip(run.keys, run.values):
+                    live.setdefault(k, v)
+            count = sum(1 for v in live.values() if v is not _TOMBSTONE)
+            if count != self._size:
+                out.append(Violation(
+                    0, "pgm.size",
+                    f"{count} live keys after shadowing but len(index) "
+                    f"== {self._size}"))
+        return out

@@ -25,6 +25,7 @@ from repro.core.cost import (
     TRAIN_KEY,
     charge_binary_search,
 )
+from repro.core.validate import Violation, sorted_violations
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -169,3 +170,35 @@ class RMI(OrderedIndex):
     @property
     def max_error(self) -> int:
         return max(self._leaf_errors, default=0)
+
+    # -- validation ---------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """Read-only invariants: the packed arrays sorted and parallel,
+        size accounting, and every key's stage-2 residual within the
+        recorded per-model error bound (the bound that makes last-mile
+        search exact for trained keys).  Never charges the meter.
+        """
+        out: List[Violation] = []
+        out.extend(sorted_violations(self._keys, 0, "rmi.keys-sorted",
+                                     strict=False))
+        if len(self._keys) != len(self._values):
+            out.append(Violation(
+                0, "rmi.arrays",
+                f"{len(self._keys)} keys vs {len(self._values)} values"))
+        if len(self._keys) != self._size:
+            out.append(Violation(
+                0, "rmi.size",
+                f"{len(self._keys)} packed keys but len(index) == "
+                f"{self._size}"))
+        for idx, k in enumerate(self._keys):
+            m = self._root.predict_clamped(k, self.fanout)
+            err = self._leaf_errors[m]
+            pred = int(self._leaf_models[m].predict(k))
+            if abs(pred - idx) > err:
+                out.append(Violation(
+                    m, "rmi.error-bound",
+                    f"key {k}: stage-2 model {m} predicts rank {pred}, "
+                    f"true rank {idx}, recorded error bound {err}"))
+                break
+        return out

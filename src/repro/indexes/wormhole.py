@@ -33,6 +33,11 @@ from repro.core.cost import (
     PHASE_TRAVERSE,
     SCAN_ENTRY,
 )
+from repro.core.validate import (
+    Violation,
+    range_violation,
+    sorted_violations,
+)
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -241,3 +246,59 @@ class Wormhole(OrderedIndex):
     @property
     def leaf_count(self) -> int:
         return len(self._leaves)
+
+    # -- validation ---------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """Leaf-list invariants: strictly increasing anchors with the
+        first anchored at 0, per-leaf keys sorted and within
+        ``[anchor, next_anchor)``, leaf occupancy within
+        ``_LEAF_CAPACITY`` (an overflow must have split), the doubly
+        linked prev/next chain mirroring the anchor-sorted leaf list
+        exactly, and size accounting.  Walks leaves directly; never
+        charges the meter.
+        """
+        out: List[Violation] = []
+        leaves = self._leaves
+        if not leaves:
+            return [Violation(0, "worm.anchor-order",
+                              "index has no leaves at all")]
+        if leaves[0].anchor != 0:
+            out.append(Violation(
+                leaves[0].node_id, "worm.anchor-order",
+                f"first anchor is {leaves[0].anchor}, expected 0"))
+        out.extend(sorted_violations(
+            [leaf.anchor for leaf in leaves], 0, "worm.anchor-order",
+            what="anchors"))
+        total = 0
+        for i, leaf in enumerate(leaves):
+            hi = leaves[i + 1].anchor if i + 1 < len(leaves) else None
+            out.extend(sorted_violations(
+                leaf.keys, leaf.node_id, "worm.keys-sorted"))
+            out.extend(range_violation(
+                leaf.keys, leaf.anchor, hi, leaf.node_id,
+                "worm.key-range"))
+            if len(leaf.keys) != len(leaf.values):
+                out.append(Violation(
+                    leaf.node_id, "worm.arrays",
+                    f"{len(leaf.keys)} keys vs {len(leaf.values)} "
+                    f"values"))
+            if len(leaf.keys) > _LEAF_CAPACITY:
+                out.append(Violation(
+                    leaf.node_id, "worm.capacity",
+                    f"leaf holds {len(leaf.keys)} > capacity "
+                    f"{_LEAF_CAPACITY} (missed split)"))
+            before = leaves[i - 1] if i > 0 else None
+            after = leaves[i + 1] if i + 1 < len(leaves) else None
+            if leaf.prev is not before or leaf.next is not after:
+                out.append(Violation(
+                    leaf.node_id, "worm.leaf-chain",
+                    "prev/next links disagree with the anchor-sorted "
+                    "leaf list"))
+            total += len(leaf.keys)
+        if total != self._size:
+            out.append(Violation(
+                0, "worm.size",
+                f"leaves hold {total} keys but len(index) == "
+                f"{self._size}"))
+        return out

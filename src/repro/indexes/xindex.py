@@ -39,6 +39,13 @@ from repro.core.cost import (
     TRAIN_KEY,
 )
 from repro.core.hardness import Segment, optimal_pla
+from repro.core.validate import (
+    Violation,
+    range_violation,
+    residual_violations,
+    segment_partition_violations,
+    sorted_violations,
+)
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -334,3 +341,72 @@ class XIndex(OrderedIndex):
 
     def group_count(self) -> int:
         return len(self._groups)
+
+    # -- validation ---------------------------------------------------------------
+
+    def debug_validate(self) -> List[Violation]:
+        """Two-layer invariants: strictly increasing group pivots with
+        the first anchored at 0, every key (frozen and delta) inside
+        its group's pivot range, sorted frozen and delta arrays with no
+        key in both, the delta strictly below ``delta_size`` (a full
+        delta must have compacted), PLA segments contiguously
+        partitioning each frozen array within the ε bound.  Walks
+        groups directly; never charges the meter.
+        """
+        out: List[Violation] = []
+        groups = self._groups
+        if not groups:
+            return [Violation(0, "xindex.pivot-order",
+                              "index has no groups at all")]
+        if groups[0].pivot != 0:
+            out.append(Violation(
+                groups[0].node_id, "xindex.pivot-order",
+                f"first pivot is {groups[0].pivot}, expected 0"))
+        out.extend(sorted_violations(
+            [g.pivot for g in groups], 0, "xindex.pivot-order",
+            what="pivots"))
+        total = 0
+        for gi, g in enumerate(groups):
+            hi = groups[gi + 1].pivot if gi + 1 < len(groups) else None
+            for keys, what, rule in (
+                    (g.keys, "keys", "xindex.keys-sorted"),
+                    (g.delta_keys, "delta_keys", "xindex.delta-sorted")):
+                out.extend(sorted_violations(
+                    keys, g.node_id, rule, what=what))
+                out.extend(range_violation(
+                    keys, g.pivot, hi, g.node_id, "xindex.key-range"))
+            if len(g.keys) != len(g.values):
+                out.append(Violation(
+                    g.node_id, "xindex.arrays",
+                    f"{len(g.keys)} keys vs {len(g.values)} values"))
+            if len(g.delta_keys) != len(g.delta_values):
+                out.append(Violation(
+                    g.node_id, "xindex.arrays",
+                    f"{len(g.delta_keys)} delta keys vs "
+                    f"{len(g.delta_values)} delta values"))
+            if len(g.delta_keys) >= self.delta_size:
+                out.append(Violation(
+                    g.node_id, "xindex.delta-bound",
+                    f"delta holds {len(g.delta_keys)} >= delta_size "
+                    f"{self.delta_size} (missed compaction)"))
+            dup = set(g.keys) & set(g.delta_keys)
+            if dup:
+                out.append(Violation(
+                    g.node_id, "xindex.delta-shadow",
+                    f"key(s) {sorted(dup)[:3]} present in both the "
+                    f"frozen array and the delta"))
+            out.extend(segment_partition_violations(
+                g.segments, len(g.keys), g.node_id, "xindex.segments"))
+            for seg in g.segments:
+                out.extend(residual_violations(
+                    seg.model,
+                    g.keys[seg.first_index:seg.first_index + seg.length],
+                    seg.first_index, self.epsilon, g.node_id,
+                    "xindex.epsilon"))
+            total += len(g.keys) + len(g.delta_keys)
+        if total != self._size:
+            out.append(Violation(
+                0, "xindex.size",
+                f"groups hold {total} keys but len(index) == "
+                f"{self._size}"))
+        return out

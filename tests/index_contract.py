@@ -254,6 +254,58 @@ class IndexContract:
         got = idx.range_scan(start, 37)
         assert got == items[321 : 321 + 37]
 
+    # -- empty-index behaviour ------------------------------------------------------
+
+    def test_empty_index_every_op(self):
+        """Every op degrades gracefully on a freshly-emptied index."""
+        idx = self.make()
+        idx.bulk_load([])
+        assert idx.lookup(5) is None
+        assert not idx.update(5, 1)
+        if idx.supports_delete:
+            assert not idx.delete(5)
+        if idx.supports_range:
+            assert idx.range_scan(0, 10) == []
+        assert len(idx) == 0
+        assert 5 not in idx
+
+    def test_empty_index_recovers(self):
+        """Ops on an empty index leave it able to accept inserts."""
+        idx = self.make()
+        idx.bulk_load([])
+        idx.lookup(5)
+        idx.update(5, 1)
+        if idx.supports_delete:
+            idx.delete(5)
+        assert idx.insert(9, 90)
+        assert idx.lookup(9) == 90
+        assert len(idx) == 1
+
+    # -- structural invariants -------------------------------------------------------
+
+    def test_debug_validate_clean_when_empty(self):
+        idx = self.make()
+        idx.bulk_load([])
+        assert idx.debug_validate() == []
+
+    def test_debug_validate_clean_after_churn(self):
+        """The invariant walk finds nothing after a mixed workload."""
+        idx = self.make()
+        items = _mk_items(600, seed=13)
+        idx.bulk_load(items[:300])
+        rng = random.Random(14)
+        pending = items[300:]
+        rng.shuffle(pending)
+        for k, v in pending:
+            idx.insert(k, v)
+        if idx.supports_delete:
+            for k, _ in rng.sample(items, 150):
+                idx.delete(k)
+        for k, _ in rng.sample(items, 50):
+            idx.update(k, 0)
+        violations = idx.debug_validate()
+        assert violations == [], "\n".join(str(v) for v in violations)
+
     # -- memory / introspection ----------------------------------------------------
 
     def test_memory_usage_positive_and_grows(self):

@@ -248,3 +248,37 @@ def test_compare_runs_command(tmp_path, capsys):
     code, out = _run(capsys, "compare-runs", str(base), str(cur))
     assert code == 0
     assert "no regressions" in out
+
+
+def test_fuzz_command_single_index(capsys):
+    code, out = _run(capsys, "fuzz", "--index", "B+tree", "--budget", "400",
+                     "--out", "")
+    assert code == 0
+    assert "B+tree" in out and "ok (400 ops)" in out
+    assert "0 failure(s)" in out
+
+
+def test_fuzz_command_rejects_read_only_index():
+    with pytest.raises(SystemExit):
+        main(["fuzz", "--index", "RMI", "--budget", "100"])
+
+
+def test_fuzz_command_replays_corpus(capsys):
+    import os
+
+    corpus = os.path.join(os.path.dirname(__file__), "corpus")
+    code, out = _run(capsys, "fuzz", "--replay", corpus)
+    assert code == 0
+    assert "0 failing" in out
+
+
+def test_fuzz_command_replay_single_file(tmp_path, capsys):
+    from repro.core.opstream import generate_stream
+    from repro.core.registry import REGISTRY
+
+    stream = generate_stream(REGISTRY.get("ART"), seed=1, n_ops=60, n_bulk=16)
+    path = str(tmp_path / "art.jsonl")
+    stream.save(path)
+    code, out = _run(capsys, "fuzz", "--replay", path)
+    assert code == 0
+    assert "replayed 1 stream(s)" in out

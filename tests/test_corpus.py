@@ -1,0 +1,36 @@
+"""Replay every committed fuzz-corpus stream as a permanent regression.
+
+Each ``tests/corpus/*.jsonl`` file is a recorded operation stream that
+must run clean under the full oracle: structural invariants after every
+SMO, plus differential comparison of every op against the reference
+model.  Streams land here in two ways — shrunk reproductions of fixed
+bugs (``repro fuzz`` writes them), and sentinel SMO-churn streams that
+pin each index's split/retrain/compact paths.  Either way, a failure
+here means a previously-verified behaviour regressed.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.core.opstream import OpStream, fuzzable_specs, replay_file
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.jsonl")))
+
+
+def test_corpus_exists():
+    assert CORPUS_FILES, f"no corpus streams under {CORPUS_DIR}"
+
+
+def test_corpus_covers_every_fuzzable_index():
+    covered = {OpStream.load(p).index_name for p in CORPUS_FILES}
+    expected = {spec.name for spec in fuzzable_specs()}
+    assert expected <= covered, f"missing streams for {expected - covered}"
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=os.path.basename)
+def test_replay_corpus_stream(path):
+    report = replay_file(path)
+    assert report.ok, report.describe()

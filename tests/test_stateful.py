@@ -4,13 +4,31 @@ A RuleBasedStateMachine drives an index through random interleavings of
 bulk loads, inserts, updates, deletes, lookups and scans, checking
 against a dict model after every step.  Hypothesis shrinks any failure
 to a minimal reproducing sequence.
+
+One machine class is generated per updatable registry index (all eleven
+— RMI is read-only and excluded), each with a small-node configuration
+so 40 steps cross real SMO boundaries.  Two invariants run after every
+step: the live count matches the model, and ``debug_validate()`` finds
+the structure sound.
 """
 
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
 
-from repro import ALEX, BPlusTree, LIPP
+from repro import (
+    ALEX,
+    ART,
+    HOT,
+    LIPP,
+    BPlusTree,
+    FINEdex,
+    FITingTree,
+    Masstree,
+    PGMIndex,
+    Wormhole,
+    XIndex,
+)
 
 _KEY = st.integers(min_value=0, max_value=2**20)
 
@@ -62,24 +80,39 @@ class IndexMachine(RuleBasedStateMachine):
         if hasattr(self, "index"):
             assert len(self.index) == len(self.model)
 
-
-class BPlusTreeMachine(IndexMachine):
-    factory = staticmethod(lambda: BPlusTree(fanout=4))
-
-
-class ALEXMachine(IndexMachine):
-    factory = staticmethod(lambda: ALEX(target_leaf_keys=16, max_data_keys=64))
+    @invariant()
+    def structurally_sound(self):
+        if hasattr(self, "index"):
+            violations = self.index.debug_validate()
+            assert violations == [], "\n".join(str(v) for v in violations)
 
 
-class LIPPMachine(IndexMachine):
-    factory = staticmethod(lambda: LIPP(min_rebuild_size=16))
-
+#: Small-node factories so short sequences trigger splits, expands,
+#: retrains and compactions — the operations worth state-testing.
+_FACTORIES = {
+    "BPlusTree": lambda: BPlusTree(fanout=4),
+    "ALEX": lambda: ALEX(target_leaf_keys=16, max_data_keys=64),
+    "LIPP": lambda: LIPP(min_rebuild_size=16),
+    "PGM": lambda: PGMIndex(check_duplicates=True, buffer_size=16),
+    "XIndex": lambda: XIndex(delta_size=8, target_group_keys=32),
+    "FINEdex": lambda: FINEdex(bin_capacity=4),
+    "FITingTree": lambda: FITingTree(buffer_size=4),
+    "ART": ART,
+    "HOT": HOT,
+    "Masstree": Masstree,
+    "Wormhole": Wormhole,
+}
 
 _settings = settings(max_examples=25, stateful_step_count=40, deadline=None)
+#: Indexes whose SMOs retrain models on most steps get a lighter budget
+#: (the per-step work, not the step count, is what costs time).
+_slow_settings = settings(max_examples=10, stateful_step_count=40, deadline=None)
+_SLOW = {"LIPP", "XIndex", "FINEdex"}
 
-TestBPlusTreeStateful = BPlusTreeMachine.TestCase
-TestBPlusTreeStateful.settings = _settings
-TestALEXStateful = ALEXMachine.TestCase
-TestALEXStateful.settings = _settings
-TestLIPPStateful = LIPPMachine.TestCase
-TestLIPPStateful.settings = _settings
+for _name, _factory in _FACTORIES.items():
+    _machine = type(f"{_name}Machine", (IndexMachine,),
+                    {"factory": staticmethod(_factory)})
+    _case = _machine.TestCase
+    _case.settings = _slow_settings if _name in _SLOW else _settings
+    globals()[f"Test{_name}Stateful"] = _case
+del _name, _factory, _machine, _case
