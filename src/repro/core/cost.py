@@ -161,6 +161,17 @@ class CostMeter:
         key = (self._phase_stack[-1], kind)
         self._counts[key] = self._counts.get(key, 0.0) + n
 
+    def charge_phased(self, phase: str, kind: str, n: float = 1.0) -> None:
+        """Add ``n`` units of ``kind`` to an explicit ``phase``.
+
+        Equivalent to charging inside ``with meter.phase(phase):`` but
+        without touching the phase stack — used by the batch playback in
+        :mod:`repro.indexes.batching` to replay per-op charge logs in
+        exactly the order the scalar path would have produced them.
+        """
+        key = (phase, kind)
+        self._counts[key] = self._counts.get(key, 0.0) + n
+
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Attribute all charges inside the block to phase ``name``."""
@@ -233,4 +244,7 @@ class NullMeter(CostMeter):
     """A meter that drops all charges; used when metering is off."""
 
     def charge(self, kind: str, n: float = 1.0) -> None:  # noqa: D102
+        pass
+
+    def charge_phased(self, phase: str, kind: str, n: float = 1.0) -> None:  # noqa: D102
         pass

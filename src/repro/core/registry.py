@@ -67,6 +67,11 @@ class IndexSpec:
     supports_delete: bool = True
     supports_range: bool = True
     supports_duplicates: bool = False
+    #: Whether the index implements a numpy-vectorized ``_lookup_batch``
+    #: fast path (the ``*_many`` APIs work on every index regardless —
+    #: the default is a scalar loop; this flag marks where batching is
+    #: actually faster).
+    supports_batch: bool = False
     tags: frozenset = field(default_factory=frozenset)
     #: Concurrent variant (Section 4.2), bound by the adapters module.
     concurrent_name: Optional[str] = None
@@ -224,14 +229,16 @@ def _populate(reg: IndexRegistry) -> IndexRegistry:
         ))
 
     # Learned (Section 4.1 order: ALEX, LIPP, PGM, XIndex, FINEdex).
-    add("ALEX", ALEX, core_cli_hm, supports_duplicates=True)  # via duplicate_mode
-    add("LIPP", LIPP, core_cli_hm)
-    add("PGM", PGMIndex, frozenset({TAG_CORE, TAG_CLI}))  # heatmap excludes PGM
-    add("XIndex", XIndex, core_cli_hm)
-    add("FINEdex", FINEdex, core_cli_hm)
-    add("FITing-Tree", FITingTree, frozenset({TAG_CLI}))
+    add("ALEX", ALEX, core_cli_hm, supports_duplicates=True,  # via duplicate_mode
+        supports_batch=True)
+    add("LIPP", LIPP, core_cli_hm, supports_batch=True)
+    add("PGM", PGMIndex, frozenset({TAG_CORE, TAG_CLI}),  # heatmap excludes PGM
+        supports_batch=True)
+    add("XIndex", XIndex, core_cli_hm, supports_batch=True)
+    add("FINEdex", FINEdex, core_cli_hm, supports_batch=True)
+    add("FITing-Tree", FITingTree, frozenset({TAG_CLI}), supports_batch=True)
     # Read-only baseline; no update catalogs, inserts raise.
-    add("RMI", RMI, frozenset(), supports_insert=False)
+    add("RMI", RMI, frozenset(), supports_insert=False, supports_batch=True)
     # Traditional.
     add("B+tree", BPlusTree, core_cli_hm)
     add("ART", ART, core_cli_hm)

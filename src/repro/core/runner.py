@@ -286,6 +286,16 @@ class ExecutionEngine:
     op, so sampled and unsampled ops execute identically.  Observers
     passed at construction (or via :meth:`add_observer`) persist across
     runs; the stock metric collectors are created fresh per run.
+
+    ``batch_ops > 1`` enables batch mode: consecutive lookups are
+    grouped into runs of up to ``batch_ops`` and dispatched through the
+    index's vectorized ``_lookup_batch`` fast path.  Results are played
+    back *per op* — the cost meter, latency sampling, and every
+    observer (telemetry, validation, differential oracles) see the
+    identical event stream, virtual costs, and op records as scalar
+    execution.  Writes and scans always execute scalar, in stream
+    order, so SMO timing is unchanged.  Indexes without a fast path
+    (or batches it declines) silently fall back to the scalar loop.
     """
 
     def __init__(
@@ -294,9 +304,11 @@ class ExecutionEngine:
         reset_meter: bool = True,
         observers: Sequence[ExecutionObserver] = (),
         telemetry: Optional["Telemetry"] = None,
+        batch_ops: int = 0,
     ) -> None:
         self.sample_every = sample_every
         self.reset_meter = reset_meter
+        self.batch_ops = batch_ops
         self.observers: List[ExecutionObserver] = list(observers)
         if telemetry is not None:
             self.observers.extend(telemetry.observers())
@@ -344,6 +356,81 @@ class ExecutionEngine:
 
     # -- the measured loop ------------------------------------------------------
 
+    def _execute_one(
+        self,
+        index: OrderedIndex,
+        op: Operation,
+        seq: int,
+        observers: Sequence[ExecutionObserver],
+        meter,
+    ) -> None:
+        handler = self._dispatch.get(op.op)
+        if handler is None:
+            raise ValueError(f"unknown op {op.op!r}")
+        sampled = (seq % self.sample_every) == 0
+        before = meter.total_time() if sampled else 0.0
+        prev_record = index.last_op
+        ok, scanned, result = handler(index, op)
+        latency = meter.total_time() - before if sampled else None
+        # Indexes assign a *new* OpRecord whenever they record an op,
+        # so identity against the pre-op object detects staleness
+        # (update/scan paths that never wrote last_op).
+        record = index.last_op if index.last_op is not prev_record else None
+        event = OpEvent(seq=seq, op=op, record=record, ok=ok, scanned=scanned,
+                        result=result)
+        for obs in observers:
+            obs.on_op(event, latency)
+        if (op.op == INSERT or op.op == DELETE) and record is not None and record.smo:
+            for obs in observers:
+                obs.on_smo(event)
+
+    def _run_batched(
+        self,
+        index: OrderedIndex,
+        ops: Sequence[Operation],
+        observers: Sequence[ExecutionObserver],
+        meter,
+    ) -> None:
+        """Group consecutive lookups into runs of up to ``batch_ops``
+        and dispatch them through ``_lookup_batch``, playing the result
+        back per op so the meter, sampling, and observers see exactly
+        the scalar event stream."""
+        sample_every = self.sample_every
+        n = len(ops)
+        i = 0
+        while i < n:
+            if ops[i].op != LOOKUP:
+                self._execute_one(index, ops[i], i, observers, meter)
+                i += 1
+                continue
+            j = i + 1
+            while j < n and j - i < self.batch_ops and ops[j].op == LOOKUP:
+                j += 1
+            batch = None
+            if j - i > 1:
+                batch = index._lookup_batch([ops[k].key for k in range(i, j)])
+            if batch is None:
+                for k in range(i, j):
+                    self._execute_one(index, ops[k], k, observers, meter)
+                i = j
+                continue
+            log = batch.log
+            values = batch.values
+            for b, seq in enumerate(range(i, j)):
+                op = ops[seq]
+                sampled = (seq % sample_every) == 0
+                before = meter.total_time() if sampled else 0.0
+                log.apply_op(meter, b)
+                latency = meter.total_time() - before if sampled else None
+                record = batch.make_record(b)
+                index.last_op = record
+                value = values[b]
+                event = OpEvent(seq=seq, op=op, record=record,
+                                ok=value is not None, scanned=0, result=value)
+                for obs in observers:
+                    obs.on_op(event, latency)
+            i = j
+
     def run(self, index: OrderedIndex, workload: Workload) -> RunResult:
         """Bulk load, run the operation stream, return measurements."""
         sampler = LatencySampler()
@@ -360,30 +447,13 @@ class ExecutionEngine:
             obs.on_phase("measure", index, workload)
 
         meter = index.meter
-        dispatch = self._dispatch
-        sample_every = self.sample_every
         start_ns = meter.total_time()
         wall0 = time.perf_counter()
-        for i, op in enumerate(workload.operations):
-            handler = dispatch.get(op.op)
-            if handler is None:
-                raise ValueError(f"unknown op {op.op!r}")
-            sampled = (i % sample_every) == 0
-            before = meter.total_time() if sampled else 0.0
-            prev_record = index.last_op
-            ok, scanned, result = handler(index, op)
-            latency = meter.total_time() - before if sampled else None
-            # Indexes assign a *new* OpRecord whenever they record an op,
-            # so identity against the pre-op object detects staleness
-            # (update/scan paths that never wrote last_op).
-            record = index.last_op if index.last_op is not prev_record else None
-            event = OpEvent(seq=i, op=op, record=record, ok=ok, scanned=scanned,
-                            result=result)
-            for obs in observers:
-                obs.on_op(event, latency)
-            if (op.op == INSERT or op.op == DELETE) and record is not None and record.smo:
-                for obs in observers:
-                    obs.on_smo(event)
+        if self.batch_ops > 1:
+            self._run_batched(index, workload.operations, observers, meter)
+        else:
+            for i, op in enumerate(workload.operations):
+                self._execute_one(index, op, i, observers, meter)
         wall = time.perf_counter() - wall0
 
         for obs in observers:
@@ -410,6 +480,7 @@ def execute(
     reset_meter: bool = True,
     observers: Sequence[ExecutionObserver] = (),
     telemetry: Optional["Telemetry"] = None,
+    batch_ops: int = 0,
 ) -> RunResult:
     """Bulk load, run the operation stream, return measurements.
 
@@ -417,9 +488,12 @@ def execute(
     ``telemetry`` attach extra collectors without constructing an
     engine; with both omitted only the stock observers run and the
     :class:`RunResult` is byte-identical to previous releases.
+    ``batch_ops`` enables observationally-identical batched lookup
+    dispatch (see :class:`ExecutionEngine`).
     """
     engine = ExecutionEngine(sample_every=sample_every, reset_meter=reset_meter,
-                             observers=observers, telemetry=telemetry)
+                             observers=observers, telemetry=telemetry,
+                             batch_ops=batch_ops)
     return engine.run(index, workload)
 
 

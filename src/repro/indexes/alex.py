@@ -30,7 +30,9 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.cost import (
     ALLOC_NODE,
+    CACHE_PROBE,
     charge_local_search,
+    KEY_COMPARE,
     KEY_SHIFT,
     MODEL_EVAL,
     NODE_HOP,
@@ -45,6 +47,7 @@ from repro.core.cost import (
     TRAIN_KEY,
 )
 from repro.core.validate import Violation, sorted_violations
+from repro.indexes import batching
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -77,6 +80,7 @@ class _DataNode:
         "node_id", "keys", "values", "present", "num_keys",
         "model", "prev", "next",
         "inserts_since_build", "shifts_since_build", "search_since_build",
+        "np_cache",
     )
 
     def __init__(self, node_id: int) -> None:
@@ -84,6 +88,9 @@ class _DataNode:
         self.keys: List[Key] = []
         self.values: List[Value] = []
         self.present: List[bool] = []
+        #: Batch-lookup arrays (see ``_lookup_batch``); ``None`` = stale,
+        #: ``False`` = keys don't fit int64.  Reset on any layout change.
+        self.np_cache: Any = None
         self.num_keys = 0
         self.model = LinearModel()
         self.prev: Optional["_DataNode"] = None
@@ -203,8 +210,9 @@ class ALEX(OrderedIndex):
         cap = node.capacity
         positions: List[int] = []
         pos = -1
+        predict = node.model.predictor(cap)
         for k, _ in items:
-            pos = max(node.model.predict_clamped(k, cap), pos + 1)
+            pos = max(predict(k), pos + 1)
             positions.append(pos)
         limit = cap - 1
         for i in range(len(items) - 1, -1, -1):
@@ -404,6 +412,182 @@ class ALEX(OrderedIndex):
             return value.values[0]
         return value
 
+    @staticmethod
+    def _leaf_cache(node: _DataNode):
+        """Numpy mirror of a leaf's gapped array: int64 keys (tail-gap
+        ``_GAP_HIGH`` mapped to INT64_MAX, which preserves every ``<``,
+        ``>=`` and ``==`` outcome against int64 probe keys) plus the
+        sorted occupied-slot positions."""
+        cache = node.np_cache
+        if cache is None:
+            np = batching._np
+            int64_max = (1 << 63) - 1
+            mapped = [int64_max if k == _GAP_HIGH else k for k in node.keys]
+            keys_np = batching.int64_cache(mapped)
+            if keys_np is None:
+                cache = node.np_cache = False
+            else:
+                present_idxs = np.flatnonzero(
+                    np.asarray(node.present, dtype=bool))
+                cache = node.np_cache = (keys_np, present_idxs)
+        return cache
+
+    @staticmethod
+    def _leaf_lookup_plain(node: _DataNode, key: Key) -> Tuple[int, int, int]:
+        """Meter-free replay of ``_leaf_lower_bound`` + ``_occupied_at``
+        for the scalar tail of small batch groups; returns
+        ``(occ, probes, distance)``."""
+        cap = node.capacity
+        hint = node.model.predict_clamped(key, cap)
+        keys = node.keys
+        probes = 1
+        if keys[hint] >= key:
+            bound = 1
+            lo = hint - bound
+            while lo >= 0 and keys[lo] >= key:
+                probes += 1
+                bound <<= 1
+                lo = hint - bound
+            lo = max(lo, 0)
+            hi = hint
+        else:
+            bound = 1
+            hi = hint + bound
+            while hi < cap and keys[hi] < key:
+                probes += 1
+                bound <<= 1
+                hi = hint + bound
+            hi = min(hi, cap)
+            lo = hint
+        while lo < hi:
+            probes += 1
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        occ = ALEX._occupied_at(node, lo, key)
+        return occ, probes, lo - hint
+
+    def _lookup_batch(self, keys: Sequence[Key]):
+        """Vectorized lookup: grouped descent through the inner nodes,
+        then a per-leaf replay of the exponential search with rank
+        arithmetic (``keys[x] >= key`` is ``x >= r`` for the key's rank
+        ``r`` in the gapped array, which stays sorted by construction).
+        Groups smaller than the numpy break-even run a meter-free scalar
+        tail instead.  Bails under duplicate modes.
+        """
+        if self.duplicate_mode is not None:
+            return None
+        ks = batching.key_array(keys)
+        if ks is None:
+            return None
+        np = batching._np
+        B = len(ks)
+        values: List[Optional[Value]] = [None] * B
+        found = [False] * B
+        depth = np.zeros(B, dtype=np.int64)
+        probes = np.zeros(B, dtype=np.int64)
+        cp = np.zeros(B, dtype=np.int64)
+        leaf_groups = []  # (node, idx, ksub, rank, cache) per visited leaf
+        stack = [(self._root, np.arange(B), 0)]
+        while stack:
+            node, idx, d = stack.pop()
+            if isinstance(node, _InnerNode):
+                slots = batching.predict_clamped_vec(
+                    node.model, ks[idx], len(node.children))
+                order = np.argsort(slots, kind="stable")
+                sorted_slots = slots[order]
+                cuts = np.flatnonzero(np.diff(sorted_slots)) + 1
+                bounds = [0] + cuts.tolist() + [len(order)]
+                children = node.children
+                for t in range(len(bounds) - 1):
+                    a = bounds[t]
+                    part = order[a:bounds[t + 1]]
+                    stack.append(
+                        (children[int(sorted_slots[a])], idx[part], d + 1))
+                continue
+            depth[idx] = d
+            cache = self._leaf_cache(node) if len(idx) >= 16 else False
+            if cache is False:
+                for gi in idx:
+                    gi = int(gi)
+                    occ, pr, dist = self._leaf_lookup_plain(
+                        node, int(ks[gi]))
+                    probes[gi] = pr
+                    cp[gi] = min(max((abs(dist) - 4) // 8, 0), 64)
+                    if occ >= 0:
+                        found[gi] = True
+                        values[gi] = node.values[occ]
+                continue
+            ksub = ks[idx]
+            r = np.searchsorted(cache[0], ksub, side="left")
+            leaf_groups.append((node, idx, ksub, r, cache))
+        if leaf_groups:
+            # One global exponential-search replay across every leaf:
+            # per-leaf calls on tiny arrays would drown in numpy call
+            # overhead, so the per-key model/capacity parameters are
+            # broadcast and concatenated instead.
+            order = np.concatenate([g[1] for g in leaf_groups])
+            rr = np.concatenate([g[3] for g in leaf_groups])
+            caps = np.concatenate(
+                [np.full(len(g[1]), g[0].capacity, dtype=np.int64)
+                 for g in leaf_groups])
+            slopes = np.concatenate(
+                [np.full(len(g[1]), g[0].model.slope) for g in leaf_groups])
+            inters = np.concatenate(
+                [np.full(len(g[1]), g[0].model.intercept)
+                 for g in leaf_groups])
+            anchors = np.concatenate(
+                [np.full(len(g[1]), g[0].model.anchor, dtype=np.int64)
+                 for g in leaf_groups])
+            ksall = ks[order]
+            pred = slopes * (ksall - anchors).astype(np.float64) + inters
+            # Same clamp-preserving pre-clip as predict_clamped_vec,
+            # bounded by the largest capacity in the batch.
+            cmax = float(int(caps.max()) + 2)
+            hint = np.clip(np.clip(pred, -cmax, cmax).astype(np.int64),
+                           0, np.maximum(caps - 1, 0))
+            pr, lo = batching.simulate_exponential(hint, rr, caps)
+            probes[order] = pr
+            cp[order] = batching.local_search_lines(lo - hint)
+            off = 0
+            for node, idx, ksub, r, (keys_np, present_idxs) in leaf_groups:
+                lo_g = lo[off:off + len(idx)]
+                off += len(idx)
+                pos_in = np.searchsorted(present_idxs, lo_g)
+                has_occ = pos_in < len(present_idxs)
+                occ = present_idxs[
+                    np.minimum(pos_in, len(present_idxs) - 1)]
+                hit = has_occ & (keys_np[occ] == ksub)
+                node_values = node.values
+                for j in np.flatnonzero(hit):
+                    gi = int(idx[j])
+                    found[gi] = True
+                    values[gi] = node_values[int(occ[j])]
+        log = batching.ChargeLog(B)
+        log.add(PHASE_TRAVERSE, NODE_HOP, depth + 1)
+        log.add(PHASE_TRAVERSE, MODEL_EVAL, depth, reached=depth > 0)
+        log.add(PHASE_SEARCH, MODEL_EVAL, np.ones(B, dtype=np.int64))
+        log.add(PHASE_SEARCH, KEY_COMPARE, probes)
+        log.add(PHASE_SEARCH, CACHE_PROBE, cp, reached=cp > 0)
+        probes_list = probes.tolist()
+
+        def make_record(i: int) -> OpRecord:
+            key = keys[i]
+            path: List[int] = []
+            node = self._root
+            while isinstance(node, _InnerNode):
+                path.append(node.node_id)
+                node = node.children[node.child_slot(key)]
+            path.append(node.node_id)
+            return OpRecord(
+                op="lookup", key=key, found=found[i], path=path,
+                nodes_traversed=len(path), search_distance=probes_list[i],
+            )
+
+        return batching.BatchLookup(values, log, make_record)
+
     # -- insert ------------------------------------------------------------------
 
     def insert(self, key: Key, value: Value) -> bool:
@@ -480,6 +664,7 @@ class ALEX(OrderedIndex):
 
     def _place(self, node: _DataNode, pos: int, key: Key, value: Value) -> int:
         """Put ``key`` into the array at/near ``pos``; returns keys shifted."""
+        node.np_cache = None
         with self.meter.phase(PHASE_COLLISION):
             cap = node.capacity
             if pos < cap and not node.present[pos]:
@@ -548,6 +733,7 @@ class ALEX(OrderedIndex):
         return 0
 
     def _expand(self, node: _DataNode) -> None:
+        node.np_cache = None
         items = node.occupied_items()
         n = len(items)
         cap = max(8, int(math.ceil(n / self.avg_density)))
@@ -738,6 +924,7 @@ class ALEX(OrderedIndex):
                 nodes_traversed=len(path),
             )
             return False
+        node.np_cache = None
         with self.meter.phase(PHASE_COLLISION):
             node.present[occ] = False
             node.values[occ] = None

@@ -144,6 +144,93 @@ class OrderedIndex(ABC):
         """Return up to ``count`` pairs with key >= ``start`` ascending."""
         raise NotImplementedError(f"{self.name} does not support range scans")
 
+    # -- batch protocol --------------------------------------------------------
+    #
+    # The public ``*_many`` entry points are correct by construction: the
+    # default loops the scalar ops, so every index supports batches
+    # immediately, with identical results, OpRecords, and meter charges.
+    # Model-based indexes override the internal ``_lookup_batch`` hook
+    # with a numpy fast path that returns the same observables (see
+    # ``repro.indexes.batching``); the hook returns ``None`` whenever it
+    # cannot guarantee exact parity and the loop fallback runs instead.
+
+    def _lookup_batch(self, keys: Sequence[Key]) -> Optional["Any"]:
+        """Vectorized lookup hook: a ``batching.BatchLookup`` with
+        per-op values, charge log, and record factory — or ``None`` to
+        take the scalar loop."""
+        return None
+
+    def _loop_records(self, records: Optional[List[Optional[OpRecord]]]) -> Any:
+        """Per-op ``last_op`` capture for the loop fallbacks: appends the
+        fresh record, or ``None`` when the op did not refresh it."""
+        if records is None:
+            return None
+
+        def capture(prev: OpRecord) -> None:
+            rec = self.last_op
+            records.append(rec if rec is not prev else None)
+
+        return capture
+
+    def lookup_many(self, keys: Sequence[Key],
+                    records: Optional[List[Optional[OpRecord]]] = None,
+                    ) -> List[Optional[Value]]:
+        """Batched :meth:`lookup` over ``keys``, in order.
+
+        Observationally identical to calling ``lookup`` in a loop: same
+        values, same cost-meter charges (including counter creation
+        order), and ``last_op`` reflects the final key.  When
+        ``records`` is given, each op's fresh ``OpRecord`` (or ``None``
+        if the op left ``last_op`` stale) is appended to it.
+        """
+        batch = self._lookup_batch(keys)
+        if batch is not None:
+            batch.log.apply_totals(self.meter)
+            n = len(keys)
+            if records is not None:
+                for i in range(n):
+                    rec = batch.make_record(i)
+                    records.append(rec)
+                    self.last_op = rec
+            elif n:
+                self.last_op = batch.make_record(n - 1)
+            return batch.values
+        capture = self._loop_records(records)
+        out: List[Optional[Value]] = []
+        for key in keys:
+            prev = self.last_op
+            out.append(self.lookup(key))
+            if capture is not None:
+                capture(prev)
+        return out
+
+    def insert_many(self, pairs: Sequence[Tuple[Key, Value]],
+                    records: Optional[List[Optional[OpRecord]]] = None,
+                    ) -> List[bool]:
+        """Batched :meth:`insert`; duplicate keys within one batch get
+        the scalar semantics (later inserts see the earlier ones)."""
+        capture = self._loop_records(records)
+        out: List[bool] = []
+        for key, value in pairs:
+            prev = self.last_op
+            out.append(self.insert(key, value))
+            if capture is not None:
+                capture(prev)
+        return out
+
+    def scan_many(self, starts: Sequence[Key], count: int,
+                  records: Optional[List[Optional[OpRecord]]] = None,
+                  ) -> List[List[Tuple[Key, Value]]]:
+        """Batched :meth:`range_scan`: one scan of ``count`` per start."""
+        capture = self._loop_records(records)
+        out: List[List[Tuple[Key, Value]]] = []
+        for start in starts:
+            prev = self.last_op
+            out.append(self.range_scan(start, count))
+            if capture is not None:
+                capture(prev)
+        return out
+
     # -- introspection ---------------------------------------------------------
 
     @abstractmethod

@@ -1,0 +1,299 @@
+"""Shared machinery for numpy-vectorized batch lookups.
+
+The batch fast paths must be *observationally identical* to the scalar
+hot paths: same values, same :class:`~repro.indexes.base.OpRecord`
+fields, and — the hard part — the exact same :class:`CostMeter` state,
+including the dict insertion order of ``(phase, kind)`` counters (the
+virtual clock sums floats in insertion order, so even the order is
+observable).  Three ideas make that tractable:
+
+* **Search replay by rank.**  Every windowed binary search in the
+  scalar paths compares ``keys[mid] < key`` (or ``first_key <= key``),
+  which is equivalent to ``mid < r`` where ``r`` is the key's rank from
+  ``np.searchsorted``.  So the probe counts of a whole batch can be
+  replayed with masked integer arithmetic — no key arrays touched —
+  and come out *exactly* equal to what the scalar loop would count.
+* **Charge logs.**  Fast paths record per-op unit counts per charge
+  *site* (one scalar ``meter.charge`` statement, in the order the
+  scalar path reaches them).  :meth:`ChargeLog.apply_totals` replays
+  the summed charges in first-reached order, reproducing the scalar
+  loop's counter insertion order; :meth:`ChargeLog.apply_op` replays
+  one op for the engine's per-op observer playback.
+* **Integer units.**  All unit counts are integers well below 2**53,
+  so one big add equals many small float adds bit-for-bit.
+
+numpy is optional: every helper degrades to ``None`` and callers fall
+back to the correct-by-construction scalar loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+try:  # pragma: no cover - exercised via the no-numpy fallback tests
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Batches below this size skip the vectorized path: the numpy call
+#: overhead outweighs the win.  Tests shrink it to force coverage.
+MIN_BATCH = 16
+
+_INT64_MAX = (1 << 63) - 1
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def key_array(keys: Sequence[int]) -> Optional["Any"]:
+    """``keys`` as an int64 array, or ``None`` when the batch should
+    take the scalar fallback (numpy missing, batch too small, or keys
+    outside int64 — the scalar path handles arbitrary Python ints)."""
+    if _np is None or len(keys) < MIN_BATCH:
+        return None
+    try:
+        arr = _np.asarray(keys, dtype=_np.int64)
+    except (OverflowError, ValueError, TypeError):
+        return None
+    if arr.ndim != 1:
+        return None
+    return arr
+
+
+def int64_cache(keys: Sequence[int]) -> Optional["Any"]:
+    """Index-side key arrays for the caches; ``None`` if any stored key
+    does not fit int64 (the fast path then bails for good)."""
+    if _np is None:
+        return None
+    try:
+        return _np.asarray(keys, dtype=_np.int64)
+    except (OverflowError, ValueError, TypeError):
+        return None
+
+
+def model_arrays(models: Sequence[Any]):
+    """Per-model (slope, intercept, anchor) gather arrays.
+
+    Returns ``None`` when an anchor overflows int64.
+    """
+    if _np is None:
+        return None
+    try:
+        anchors = _np.asarray([m.anchor for m in models], dtype=_np.int64)
+    except (OverflowError, ValueError, TypeError):
+        return None
+    slopes = _np.asarray([m.slope for m in models], dtype=_np.float64)
+    intercepts = _np.asarray([m.intercept for m in models], dtype=_np.float64)
+    return slopes, intercepts, anchors
+
+
+def predict_vec(slope, intercept, anchor, ks):
+    """Vectorized ``LinearModel.predict``: float64 ops in the same
+    order as the scalar expression ``slope * (key - anchor) + intercept``
+    (int64 subtract is exact; the float cast rounds identically)."""
+    return slope * (ks - anchor).astype(_np.float64) + intercept
+
+
+def predict_clamped_vec(model, ks, n: int):
+    """Vectorized ``LinearModel.predict_clamped`` for one model."""
+    if n <= 0:
+        return _np.zeros(len(ks), dtype=_np.int64)
+    pred = predict_vec(model.slope, model.intercept, _np.int64(model.anchor), ks)
+    # Pre-clip so the int64 cast cannot overflow; the clip bound is
+    # outside [-1, n] so post-clamp results are unchanged.
+    c = float(n + 2)
+    p = _np.clip(pred, -c, c).astype(_np.int64)
+    return _np.clip(p, 0, n - 1)
+
+
+def window_bounds(slope, intercept, anchor, ks, eps: int, length):
+    """The scalar paths' last-mile window ``[lo, hi)`` around a model
+    prediction: ``hi = max(min(pred+eps+2, n), 0)``,
+    ``lo = min(max(pred-eps-1, 0), hi)``.
+
+    ``length`` may be a scalar or a per-key array.  The float prediction
+    is pre-clipped to a magnitude that provably leaves the clamped
+    ``lo``/``hi`` unchanged while keeping the int64 cast in range.
+    """
+    pred = predict_vec(slope, intercept, anchor, ks)
+    nmax = int(length.max()) if hasattr(length, "max") else int(length)
+    c = float(nmax + eps + 4)
+    p = _np.clip(pred, -c, c).astype(_np.int64)
+    hi = _np.clip(p + (eps + 2), 0, length)
+    lo = _np.minimum(_np.maximum(p - (eps + 1), 0), hi)
+    return lo, hi
+
+
+def simulate_binary(lo, hi, r):
+    """Probe count of the scalar lower-bound loop over ``[lo, hi)``.
+
+    The loop compares ``keys[mid] < key``; with ``r`` the key's rank
+    (``np.searchsorted(..., 'left')`` for ``<`` conditions,
+    ``'right'`` for ``<=`` conditions) that is exactly ``mid < r``, so
+    the whole control flow replays in ~log2(window) masked steps.
+    Returns the per-key probe counts; the final ``lo`` is
+    ``clip(r, lo, hi)``.
+    """
+    lo = lo.copy()
+    hi = hi.copy()
+    probes = _np.zeros(lo.shape, dtype=_np.int64)
+    active = lo < hi
+    while active.any():
+        probes[active] += 1
+        mid = (lo + hi) >> 1
+        right = active & (mid < r)
+        left = active & ~(mid < r)
+        lo = _np.where(right, mid + 1, lo)
+        hi = _np.where(left, mid, hi)
+        active = lo < hi
+    return probes
+
+
+def simulate_exponential(hint, r, cap: int):
+    """Replay ALEX's inline exponential search around ``hint``.
+
+    Conditions ``keys[x] >= key`` become ``x >= r``.  Returns
+    ``(probes, lo)`` where ``lo == r`` clipped into the final window —
+    exactly the scalar result — and ``probes`` matches the scalar count
+    (first comparison + doubling steps + windowed binary).
+    """
+    probes = _np.ones(hint.shape, dtype=_np.int64)
+    left = hint >= r  # keys[hint] >= key
+    bound = _np.ones(hint.shape, dtype=_np.int64)
+    lo = _np.where(left, hint - 1, hint)
+    hi = _np.where(left, hint, hint + 1)
+    act = left & (lo >= 0) & (lo >= r)
+    while act.any():
+        probes[act] += 1
+        bound[act] <<= 1
+        lo = _np.where(act, hint - bound, lo)
+        act = act & (lo >= 0) & (lo >= r)
+    lo = _np.where(left, _np.maximum(lo, 0), lo)
+    act = ~left & (hi < cap) & (hi < r)
+    while act.any():
+        probes[act] += 1
+        bound[act] <<= 1
+        hi = _np.where(act, hint + bound, hi)
+        act = act & (hi < cap) & (hi < r)
+    hi = _np.where(left, hi, _np.minimum(hi, cap))
+    probes += simulate_binary(lo, hi, r)
+    return probes, _np.clip(r, lo, hi)
+
+
+def cache_probe_units(probes):
+    """Per-op CACHE_PROBE units of ``charge_binary_search``: each
+    search step charges ``probes - 3`` when ``probes > 3``; summed
+    over steps that is ``max(probes - 3, 0)`` per step."""
+    return _np.maximum(probes - 3, 0)
+
+
+def local_search_lines(distance):
+    """Per-op CACHE_PROBE units of ``charge_local_search``."""
+    lines = _np.maximum((_np.abs(distance) - 4) // 8, 0)
+    return _np.minimum(lines, 64)
+
+
+class ConcatTable:
+    """Per-segment sorted key lists flattened into one sorted array.
+
+    Valid when the segments partition the key space by their pivots —
+    then a key routed to segment ``s`` has its global ``searchsorted``
+    rank inside ``[offsets[s], offsets[s+1]]`` and the segment-local
+    rank is just ``rank - offsets[s]``.  One ``searchsorted`` over the
+    concatenation replaces a Python binary search per key.
+    """
+
+    __slots__ = ("cat", "offsets", "lens", "bl")
+
+    @staticmethod
+    def build(key_lists):
+        if _np is None:
+            return None
+        lens = _np.asarray([len(ks) for ks in key_lists], dtype=_np.int64)
+        offsets = _np.zeros(len(key_lists) + 1, dtype=_np.int64)
+        _np.cumsum(lens, out=offsets[1:])
+        cat = int64_cache([k for ks in key_lists for k in ks])
+        if cat is None:
+            return None
+        t = ConcatTable()
+        t.cat = cat
+        t.offsets = offsets
+        t.lens = lens
+        t.bl = _np.asarray(
+            [max(1, len(ks).bit_length()) for ks in key_lists],
+            dtype=_np.int64)
+        return t
+
+    def rank_local(self, ks, si):
+        r = _np.searchsorted(self.cat, ks, side="left")
+        return r - self.offsets[si]
+
+
+class ChargeLog:
+    """Ordered per-op charge records for one batched phase.
+
+    A *site* corresponds to one scalar ``meter.charge`` statement (or a
+    group of same-key statements that the scalar path always reaches in
+    a fixed order).  Sites are added in the order the scalar path first
+    executes them within an op.  ``reached`` is ``None`` when every op
+    executes the site (possibly with 0 units — a zero charge still
+    inserts the counter key, which is observable through the float
+    summation order), or a boolean array marking the ops that do.
+    """
+
+    __slots__ = ("n", "sites")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.sites: List[tuple] = []
+
+    def add(self, phase: str, kind: str, units, reached=None) -> None:
+        self.sites.append((phase, kind, units, reached))
+
+    def apply_totals(self, meter) -> None:
+        """Replay the whole batch as one charge per site, in the order
+        the scalar loop would first create each counter key."""
+        order = []
+        for pos, (phase, kind, units, reached) in enumerate(self.sites):
+            if reached is None:
+                first = 0
+            else:
+                hits = _np.flatnonzero(reached) if _np is not None else [
+                    i for i, f in enumerate(reached) if f]
+                if len(hits) == 0:
+                    continue
+                first = int(hits[0])
+            order.append((first, pos))
+        order.sort()
+        for _, pos in order:
+            phase, kind, units, reached = self.sites[pos]
+            if hasattr(units, "sum"):
+                total = int(units.sum() if reached is None
+                            else units[reached].sum())
+            else:
+                count = self.n if reached is None else int(
+                    reached.sum() if hasattr(reached, "sum")
+                    else sum(bool(f) for f in reached))
+                total = units * count
+            meter.charge_phased(phase, kind, total)
+
+    def apply_op(self, meter, i: int) -> None:
+        """Replay op ``i``'s charges in scalar order."""
+        for phase, kind, units, reached in self.sites:
+            if reached is not None and not reached[i]:
+                continue
+            u = units[i] if hasattr(units, "__getitem__") else units
+            meter.charge_phased(phase, kind, int(u))
+
+
+class BatchLookup:
+    """Result of an index's internal ``_lookup_batch`` fast path."""
+
+    __slots__ = ("values", "log", "make_record")
+
+    def __init__(self, values: List[Any], log: ChargeLog,
+                 make_record: Callable[[int], Any]) -> None:
+        self.values = values
+        self.log = log
+        self.make_record = make_record

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost import (
     ALLOC_NODE,
+    CACHE_PROBE,
     charge_binary_search,
     KEY_COMPARE,
     KEY_SHIFT,
@@ -52,6 +53,7 @@ from repro.indexes.base import (
     OrderedIndex,
     Value,
 )
+from repro.indexes import batching
 from repro.indexes.linear_model import LinearModel
 
 _SEGMENT_HEADER_BYTES = 48
@@ -88,11 +90,14 @@ class FINEdex(OrderedIndex):
         self.bin_capacity = bin_capacity
         self._segments: List[_FineSegment] = [_FineSegment(self._next_node_id(), 0)]
         self.retrain_count = 0
+        #: Batch-lookup tables; ``None`` = stale (see ``_batch_tables``).
+        self._batch_cache: Any = None
 
     # -- build --------------------------------------------------------------
 
     def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
         self.check_sorted(items)
+        self._batch_cache = None
         self._segments = self._build_segments(list(items))
         # The first segment is the catch-all for keys below every pivot.
         self._segments[0].first_key = 0
@@ -174,6 +179,95 @@ class FINEdex(OrderedIndex):
                                 path=[seg.node_id], nodes_traversed=2)
         return None
 
+    def _batch_tables(self):
+        """Index-wide arrays for the batch path: segment pivots, the
+        concatenated trained key array, and per-segment models.  Bins
+        stay in their dicts — the batch path probes them with a scalar
+        pass over the misses only.  Rebuilt lazily after any mutation;
+        ``False`` when unusable."""
+        cache = self._batch_cache
+        if cache is None:
+            segs = self._segments
+            if any(not seg.keys for seg in segs):
+                # Only a pre-bulk-load index has keyless segments;
+                # their lower bound short-circuits with no charges.
+                cache = self._batch_cache = False
+                return cache
+            pivots = batching.int64_cache([s.first_key for s in segs])
+            models = batching.model_arrays([s.model for s in segs])
+            main = batching.ConcatTable.build([s.keys for s in segs])
+            if pivots is None or models is None or main is None:
+                cache = self._batch_cache = False
+                return cache
+            kc_const = max(1, len(segs).bit_length())
+            node_ids = [s.node_id for s in segs]
+            cache = self._batch_cache = (
+                pivots, models, main, kc_const, node_ids)
+        return cache
+
+    def _lookup_batch(self, keys: Sequence[Key]):
+        """Vectorized lookup over the trained arrays; per-record bins
+        (a dict per segment) are probed scalar, but only for the keys
+        that missed the trained array."""
+        ks = batching.key_array(keys)
+        if ks is None:
+            return None
+        cache = self._batch_tables()
+        if cache is False:
+            return None
+        pivots, (slopes, intercepts, anchors), main, kc_const, node_ids = \
+            cache
+        np = batching._np
+        B = len(ks)
+        si = np.maximum(np.searchsorted(pivots, ks, side="right") - 1, 0)
+        lens = main.lens[si]
+        lo, hi = batching.window_bounds(
+            slopes[si], intercepts[si], anchors[si], ks, self.epsilon, lens)
+        r = main.rank_local(ks, si)
+        probes = batching.simulate_binary(lo, hi, r)
+        cp = batching.cache_probe_units(probes)
+        i = np.clip(r, lo, hi)
+        in_main = (i < lens) & (
+            main.cat[np.minimum(main.offsets[si] + i, len(main.cat) - 1)]
+            == ks)
+        miss = ~in_main
+        values: List[Optional[Value]] = [None] * B
+        segs = self._segments
+        for j in np.flatnonzero(in_main):
+            values[j] = segs[int(si[j])].values[int(i[j])]
+        # Scalar bin probe for the misses, mirroring the scalar path's
+        # conditional charge (an absent or empty bin charges nothing).
+        bin_kc = np.zeros(B, dtype=np.int64)
+        found_bin = np.zeros(B, dtype=bool)
+        for j in np.flatnonzero(miss):
+            seg = segs[int(si[j])]
+            bin_ = seg.bins.get(int(i[j]) - 1)
+            if bin_:
+                bin_kc[j] = max(1, len(bin_).bit_length())
+                key = int(ks[j])
+                jj = bisect.bisect_left(bin_, (key,))
+                if jj < len(bin_) and bin_[jj][0] == key:
+                    found_bin[j] = True
+                    values[j] = bin_[jj][1]
+        kc = probes + bin_kc
+        found = (in_main | found_bin).tolist()
+        si_list = si.tolist()
+        log = batching.ChargeLog(B)
+        log.add(PHASE_TRAVERSE, NODE_HOP, 2)
+        log.add(PHASE_TRAVERSE, MODEL_EVAL, 1)
+        log.add(PHASE_TRAVERSE, KEY_COMPARE, kc_const)
+        log.add(PHASE_SEARCH, MODEL_EVAL, 1)
+        log.add(PHASE_SEARCH, KEY_COMPARE, kc)
+        log.add(PHASE_SEARCH, CACHE_PROBE, cp, reached=cp > 0)
+        log.add(PHASE_SEARCH, NODE_HOP, np.ones(B, dtype=np.int64),
+                reached=miss)
+
+        def make_record(i: int) -> OpRecord:
+            return OpRecord(op="lookup", key=keys[i], found=found[i],
+                            path=[node_ids[si_list[i]]], nodes_traversed=2)
+
+        return batching.BatchLookup(values, log, make_record)
+
     def insert(self, key: Key, value: Value) -> bool:
         with self.meter.phase(PHASE_TRAVERSE):
             si, seg = self._find_segment(key)
@@ -192,6 +286,7 @@ class FINEdex(OrderedIndex):
             self.last_op = OpRecord(op="insert", key=key, found=True,
                                     path=[seg.node_id], nodes_traversed=2)
             return False
+        self._batch_cache = None
         with self.meter.phase(PHASE_COLLISION):
             bin_.insert(j, (key, value))
             seg.bin_entries += 1

@@ -28,6 +28,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.cost import (
     ALLOC_NODE,
+    CACHE_PROBE,
     KEY_COMPARE,
     KEY_SHIFT,
     MODEL_EVAL,
@@ -56,6 +57,7 @@ from repro.indexes.base import (
     OrderedIndex,
     Value,
 )
+from repro.indexes import batching
 from repro.indexes.btree import BPlusTree
 from repro.indexes.linear_model import LinearModel
 
@@ -95,10 +97,13 @@ class FITingTree(OrderedIndex):
         self._router = BPlusTree(fanout=32, meter=self.meter)
         self._router.bulk_load([(0, 0)])
         self.merge_count = 0
+        #: Batch-lookup tables; ``None`` = stale (see ``_batch_tables``).
+        self._batch_cache: Any = None
 
     # -- build --------------------------------------------------------------
 
     def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self._batch_cache = None
         self.check_sorted(items)
         self._segments = self._segment_items(list(items))
         self._segments[0].first_key = 0
@@ -182,6 +187,92 @@ class FITingTree(OrderedIndex):
                                 path=[seg.node_id], nodes_traversed=2)
         return None
 
+    def _batch_tables(self):
+        """Index-wide arrays for the batch path: segment pivots, the
+        concatenated trained/buffered key arrays, per-segment model
+        parameters, and the router's constant per-op charges.  Rebuilt
+        lazily after any mutation; ``False`` when unusable."""
+        cache = self._batch_cache
+        if cache is None:
+            segs = self._segments
+            if any(not seg.keys for seg in segs):
+                # Only a pre-bulk-load index has empty segments; their
+                # charge order differs (no window search), so bail.
+                cache = self._batch_cache = False
+                return cache
+            pivots = batching.int64_cache([s.first_key for s in segs])
+            models = batching.model_arrays([s.model for s in segs])
+            main = batching.ConcatTable.build([s.keys for s in segs])
+            buf = batching.ConcatTable.build([s.buf_keys for s in segs])
+            if pivots is None or models is None or main is None or buf is None:
+                cache = self._batch_cache = False
+                return cache
+            nh_const = max(1, self._router.height - 1) + 1
+            kc_const = max(1, len(segs).bit_length())
+            node_ids = [s.node_id for s in segs]
+            cache = self._batch_cache = (
+                pivots, models, main, buf, nh_const, kc_const, node_ids)
+        return cache
+
+    def _lookup_batch(self, keys: Sequence[Key]):
+        """Vectorized lookup: route all keys with one ``searchsorted``
+        over the segment pivots, replay every segment's ±ε window
+        search by rank arithmetic over the concatenated key arrays, and
+        probe the (concatenated) insert buffers the same way."""
+        ks = batching.key_array(keys)
+        if ks is None:
+            return None
+        cache = self._batch_tables()
+        if cache is False:
+            return None
+        pivots, (slopes, intercepts, anchors), main, buf, nh_const, \
+            kc_const, node_ids = cache
+        np = batching._np
+        B = len(ks)
+        si = np.maximum(np.searchsorted(pivots, ks, side="right") - 1, 0)
+        lens = main.lens[si]
+        lo, hi = batching.window_bounds(
+            slopes[si], intercepts[si], anchors[si], ks, self.epsilon, lens)
+        r = main.rank_local(ks, si)
+        probes = batching.simulate_binary(lo, hi, r)
+        cp = batching.cache_probe_units(probes)
+        i = np.clip(r, lo, hi)
+        in_main = (i < lens) & (
+            main.cat[np.minimum(main.offsets[si] + i, len(main.cat) - 1)]
+            == ks)
+        miss = ~in_main
+        if len(buf.cat):
+            rb = buf.rank_local(ks, si)
+            in_buf = miss & (rb < buf.lens[si]) & (
+                buf.cat[np.minimum(buf.offsets[si] + rb,
+                                   len(buf.cat) - 1)] == ks)
+        else:
+            rb = np.zeros(B, dtype=np.int64)
+            in_buf = np.zeros(B, dtype=bool)
+        kc = probes + np.where(miss, buf.bl[si], 0)
+        values: List[Optional[Value]] = [None] * B
+        segs = self._segments
+        for j in np.flatnonzero(in_main):
+            values[j] = segs[int(si[j])].values[int(i[j])]
+        for j in np.flatnonzero(in_buf):
+            values[j] = segs[int(si[j])].buf_values[int(rb[j])]
+        found = (in_main | in_buf).tolist()
+        si_list = si.tolist()
+        log = batching.ChargeLog(B)
+        log.add(PHASE_TRAVERSE, NODE_HOP, nh_const)
+        log.add(PHASE_TRAVERSE, KEY_COMPARE, kc_const)
+        log.add(PHASE_SEARCH, MODEL_EVAL, 1)
+        log.add(PHASE_SEARCH, KEY_COMPARE, kc)
+        log.add(PHASE_SEARCH, CACHE_PROBE, cp, reached=cp > 0)
+        log.add(PHASE_SEARCH, NODE_HOP, np.ones(B, dtype=np.int64),
+                reached=miss)
+
+        def make_record(i: int) -> OpRecord:
+            return OpRecord(op="lookup", key=keys[i], found=found[i],
+                            path=[node_ids[si_list[i]]], nodes_traversed=2)
+
+        return batching.BatchLookup(values, log, make_record)
+
     def insert(self, key: Key, value: Value) -> bool:
         with self.meter.phase(PHASE_TRAVERSE):
             si, seg = self._find_segment(key)
@@ -198,6 +289,7 @@ class FITingTree(OrderedIndex):
                                         path=[seg.node_id], nodes_traversed=2)
                 return False
         shifted = len(seg.buf_keys) - j
+        self._batch_cache = None
         with self.meter.phase(PHASE_COLLISION):
             seg.buf_keys.insert(j, key)
             seg.buf_values.insert(j, value)

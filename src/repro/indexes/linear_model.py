@@ -11,8 +11,7 @@ Every learned index in the study is, at heart, a tree of linear models
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 try:  # numpy accelerates large fits; everything works without it
     import numpy as _np
@@ -30,7 +29,6 @@ from repro.core.cost import (
 _NUMPY_MIN_N = 256
 
 
-@dataclass
 class LinearModel:
     """``pos = slope * (key - anchor) + intercept``.
 
@@ -39,11 +37,34 @@ class LinearModel:
     keys indistinguishable (and did, before this existed — LIPP's FMCD
     placement livelocked on dense clusters of huge keys).  Anchoring at
     the trained keys' base keeps the multiply in exact-float territory.
+
+    ``__slots__`` keeps instances dict-free: predict/predict_clamped are
+    the hottest statements in the whole repository, and slot loads of
+    ``slope``/``anchor``/``intercept`` shave a dict probe off each of
+    the three attribute reads per call.  For loops that evaluate one
+    model many times, :meth:`predictor` hoists the attribute reads and
+    the ``n - 1`` clamp bound out of the loop entirely.
     """
 
-    slope: float = 0.0
-    intercept: float = 0.0
-    anchor: int = 0
+    __slots__ = ("slope", "intercept", "anchor")
+
+    def __init__(self, slope: float = 0.0, intercept: float = 0.0,
+                 anchor: int = 0) -> None:
+        self.slope = slope
+        self.intercept = intercept
+        self.anchor = anchor
+
+    def __repr__(self) -> str:
+        return (f"LinearModel(slope={self.slope!r}, "
+                f"intercept={self.intercept!r}, anchor={self.anchor!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearModel):
+            return NotImplemented
+        return (self.slope, self.intercept, self.anchor) == (
+            other.slope, other.intercept, other.anchor)
+
+    __hash__ = None  # value-equal and mutable, like the dataclass it replaced
 
     def predict(self, key: int) -> float:
         return self.slope * (key - self.anchor) + self.intercept
@@ -58,6 +79,30 @@ class LinearModel:
         if p >= n:
             return n - 1
         return p
+
+    def predictor(self, n: int) -> Callable[[int], int]:
+        """A closure computing :meth:`predict_clamped` for fixed ``n``.
+
+        Hoists the three attribute loads and the clamp bound so hot
+        loops (bulk builds, FMCD placement) pay only the arithmetic.
+        The float expression is unchanged — predictions are bit-equal.
+        """
+        if n <= 0:
+            return lambda key: 0
+        slope = self.slope
+        intercept = self.intercept
+        anchor = self.anchor
+        hi = n - 1
+
+        def predict(key: int) -> int:
+            p = int(slope * (key - anchor) + intercept)
+            if p < 0:
+                return 0
+            if p > hi:
+                return hi
+            return p
+
+        return predict
 
     def inverse(self, position: float) -> int:
         """Smallest key mapping to at least ``position`` (approximate)."""

@@ -58,6 +58,7 @@ from repro.indexes.base import (
     Value,
 )
 from repro.core.validate import Violation, first_inversion
+from repro.indexes import batching
 from repro.indexes.linear_model import LinearModel, fmcd_model
 
 _EMPTY = 0
@@ -72,6 +73,7 @@ class _LippNode:
     __slots__ = (
         "node_id", "model", "tags", "keys", "values",
         "size", "build_size", "num_inserts", "num_conflicts",
+        "np_cache",
     )
 
     def __init__(self, node_id: int, capacity: int) -> None:
@@ -80,6 +82,10 @@ class _LippNode:
         self.tags: List[int] = [_EMPTY] * capacity
         self.keys: List[Key] = [0] * capacity
         self.values: List[Any] = [None] * capacity
+        #: Batch-lookup mirror of ``tags``/``keys`` (see
+        #: ``LIPP._lookup_batch``); ``None`` = stale, ``False`` = keys
+        #: don't fit int64.  Reset whenever a slot tag/key changes.
+        self.np_cache: Any = None
         #: Keys stored in this subtree.
         self.size = 0
         #: Subtree size when the node was (re)built.
@@ -152,8 +158,9 @@ class LIPP(OrderedIndex):
         # Group colliding keys; each group of >1 becomes a chained child.
         groups: List[List[Tuple[Key, Value]]] = []
         slots: List[int] = []
+        predict = node.model.predictor(cap)
         for it in items:
-            s = node.model.predict_clamped(it[0], cap)
+            s = predict(it[0])
             if slots and s == slots[-1]:
                 groups[-1].append(it)
             else:
@@ -201,6 +208,108 @@ class LIPP(OrderedIndex):
                 )
                 return node.values[s] if found else None
 
+    @staticmethod
+    def _node_cache(node: _LippNode):
+        """Numpy mirror of one node's slot tags and keys."""
+        cache = node.np_cache
+        if cache is None:
+            np = batching._np
+            keys_np = batching.int64_cache(node.keys)
+            if keys_np is None:
+                cache = node.np_cache = False
+            else:
+                tags_np = np.asarray(node.tags, dtype=np.int8)
+                cache = node.np_cache = (tags_np, keys_np)
+        return cache
+
+    def _lookup_batch(self, keys: Sequence[Key]):
+        """Vectorized precise-position lookup: grouped descent, one
+        ``predict_clamped`` evaluation per (node, key-group).  LIPP has
+        no last-mile search, so the whole scalar hot path is model
+        evaluation + slot tag tests — exactly numpy's shape.  Groups
+        below the numpy break-even take a meter-free scalar tail.
+        """
+        ks = batching.key_array(keys)
+        if ks is None:
+            return None
+        np = batching._np
+        B = len(ks)
+        values: List[Optional[Value]] = [None] * B
+        found = [False] * B
+        depth = np.zeros(B, dtype=np.int64)
+        stack = [(self._root, np.arange(B), 1)]
+        while stack:
+            node, idx, d = stack.pop()
+            cache = self._node_cache(node) if len(idx) >= 16 else False
+            if cache is False:
+                for gi in idx:
+                    gi = int(gi)
+                    key = int(ks[gi])
+                    cur, dd = node, d
+                    while True:
+                        s = cur.model.predict_clamped(key, cur.capacity)
+                        tag = cur.tags[s]
+                        if tag == _CHILD:
+                            cur = cur.values[s]
+                            dd += 1
+                            continue
+                        depth[gi] = dd
+                        if tag == _DATA and cur.keys[s] == key:
+                            found[gi] = True
+                            values[gi] = cur.values[s]
+                        break
+                continue
+            tags_np, keys_np = cache
+            ksub = ks[idx]
+            s = batching.predict_clamped_vec(node.model, ksub, node.capacity)
+            tag = tags_np[s]
+            is_child = tag == _CHILD
+            term = np.flatnonzero(~is_child)
+            if len(term):
+                tidx = idx[term]
+                depth[tidx] = d
+                ts = s[term]
+                hit = (tag[term] == _DATA) & (keys_np[ts] == ksub[term])
+                node_values = node.values
+                for j in np.flatnonzero(hit):
+                    gi = int(tidx[j])
+                    found[gi] = True
+                    values[gi] = node_values[int(ts[j])]
+            child_pos = np.flatnonzero(is_child)
+            if len(child_pos):
+                cs = s[child_pos]
+                order = np.argsort(cs, kind="stable")
+                sorted_slots = cs[order]
+                cuts = np.flatnonzero(np.diff(sorted_slots)) + 1
+                bounds = [0] + cuts.tolist() + [len(order)]
+                cidx = idx[child_pos]
+                node_values = node.values
+                for t in range(len(bounds) - 1):
+                    a = bounds[t]
+                    part = order[a:bounds[t + 1]]
+                    stack.append((node_values[int(sorted_slots[a])],
+                                  cidx[part], d + 1))
+        log = batching.ChargeLog(B)
+        log.add(PHASE_TRAVERSE, NODE_HOP, depth)
+        log.add(PHASE_TRAVERSE, MODEL_EVAL, depth)
+        log.add(PHASE_TRAVERSE, KEY_COMPARE, np.ones(B, dtype=np.int64))
+
+        def make_record(i: int) -> OpRecord:
+            key = keys[i]
+            path: List[int] = []
+            node = self._root
+            while True:
+                path.append(node.node_id)
+                s = node.model.predict_clamped(key, node.capacity)
+                if node.tags[s] == _CHILD:
+                    node = node.values[s]
+                    continue
+                break
+            return OpRecord(op="lookup", key=key, found=found[i],
+                            path=path, nodes_traversed=len(path))
+
+        return batching.BatchLookup(values, log, make_record)
+
     # -- insert ------------------------------------------------------------------
 
     def insert(self, key: Key, value: Value) -> bool:
@@ -227,6 +336,7 @@ class LIPP(OrderedIndex):
                 nodes_traversed=len(path),
             )
             return False
+        node.np_cache = None
         if tag == _EMPTY:
             with self.meter.phase(PHASE_COLLISION):
                 node.tags[s] = _DATA
@@ -363,6 +473,7 @@ class LIPP(OrderedIndex):
                 nodes_traversed=len(path),
             )
             return False
+        node.np_cache = None
         node.tags[s] = _EMPTY
         node.values[s] = None
         self.meter.charge(SLOT_INIT)
@@ -378,6 +489,7 @@ class LIPP(OrderedIndex):
             for j in range(parent.capacity):
                 if parent.tags[j] == _CHILD and parent.values[j] is node:
                     remaining = next(self._iter_subtree(node))
+                    parent.np_cache = None
                     parent.tags[j] = _DATA
                     parent.keys[j] = remaining[0]
                     parent.values[j] = remaining[1]

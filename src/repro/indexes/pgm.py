@@ -27,6 +27,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.cost import (
     ALLOC_NODE,
+    CACHE_PROBE,
     charge_binary_search,
     KEY_COMPARE,
     KEY_SHIFT,
@@ -40,6 +41,7 @@ from repro.core.cost import (
     TRAIN_KEY,
 )
 from repro.core.hardness import Segment, optimal_pla
+from repro.indexes import batching
 from repro.core.validate import (
     Violation,
     residual_violations,
@@ -63,7 +65,7 @@ _SEGMENT_BYTES = 8 + 8 + 8  # first_key + slope + intercept (as in C++ PGM)
 class _StaticPGM:
     """One immutable run: packed arrays + recursive PLA levels."""
 
-    __slots__ = ("keys", "values", "levels", "epsilon")
+    __slots__ = ("keys", "values", "levels", "epsilon", "np_cache")
 
     def __init__(
         self,
@@ -72,6 +74,10 @@ class _StaticPGM:
         meter,
     ) -> None:
         self.epsilon = epsilon
+        #: Lazily-built numpy arrays for the batch fast path; ``False``
+        #: marks a run whose keys/anchors do not fit int64.  Runs are
+        #: immutable, so the cache never needs invalidation.
+        self.np_cache = None
         self.keys: List[Key] = [k for k, _ in items]
         self.values: List[Value] = [v for _, v in items]
         #: levels[0] = leaf segments over keys; levels[i+1] indexes the
@@ -142,6 +148,32 @@ class _StaticPGM:
 
     def segment_count(self) -> int:
         return sum(len(level) for level in self.levels)
+
+    def batch_cache(self):
+        """Numpy mirrors of the packed keys and the PLA hierarchy, or
+        ``False`` when they do not fit int64 (the batch path then bails
+        for good on this run)."""
+        if self.np_cache is None:
+            keys_np = batching.int64_cache(self.keys)
+            if keys_np is None:
+                self.np_cache = False
+                return False
+            levels = []
+            for depth, level in enumerate(self.levels):
+                models = batching.model_arrays([s.model for s in level])
+                lower_first = None
+                if depth >= 1:
+                    lower_first = batching.int64_cache(
+                        [s.first_key for s in self.levels[depth - 1]])
+                    if lower_first is None:
+                        self.np_cache = False
+                        return False
+                if models is None:
+                    self.np_cache = False
+                    return False
+                levels.append((models, lower_first))
+            self.np_cache = (keys_np, levels)
+        return self.np_cache
 
 
 class PGMIndex(OrderedIndex):
@@ -222,6 +254,111 @@ class PGMIndex(OrderedIndex):
                     return None if v is _TOMBSTONE else v
         self.last_op = OpRecord(op="lookup", key=key, found=False, nodes_traversed=probed)
         return None
+
+    def _lookup_batch(self, keys: Sequence[Key]):
+        """Vectorized LSM lookup: newest-first run probing with the PLA
+        level walk replayed by rank arithmetic per run.
+
+        Each run's ``_search_segments`` condition ``first_key <= key``
+        is ``mid < ub`` with ``ub = searchsorted(first_keys, key,
+        'right')``, and the leaf window's ``keys[mid] < key`` is
+        ``mid < r`` — so probe counts (hence the virtual clock) come out
+        exactly equal to the scalar walk.  Ops that hit the buffer or an
+        early run deactivate and stop charging, like the scalar early
+        exit.
+        """
+        ks = batching.key_array(keys)
+        if ks is None:
+            return None
+        np = batching._np
+        B = len(ks)
+        values: List[Optional[Value]] = [None] * B
+        found = [False] * B
+        nt = [0] * B
+        buffer_miss = np.ones(B, dtype=bool)
+        active = np.ones(B, dtype=bool)
+        if self._buffer:
+            buf = self._buffer
+            for i, key in enumerate(keys):
+                if key in buf:
+                    v = buf[key]
+                    buffer_miss[i] = False
+                    active[i] = False
+                    nt[i] = 1
+                    if v is not _TOMBSTONE:
+                        found[i] = True
+                        values[i] = v
+        me = np.zeros(B, dtype=np.int64)
+        nh = np.zeros(B, dtype=np.int64)
+        kc = np.zeros(B, dtype=np.int64)
+        cp = np.zeros(B, dtype=np.int64)
+        probed = np.zeros(B, dtype=np.int64)
+        for run in self._runs:
+            if run is None or len(run) == 0:
+                continue
+            if not active.any():
+                break
+            cache = run.batch_cache()
+            if cache is False:
+                return None
+            keys_np, levels = cache
+            idxs = np.flatnonzero(active)
+            ksub = ks[idxs]
+            probed[idxs] += 1
+            eps = run.epsilon
+            n_run = len(run.keys)
+            seg_idx = np.zeros(len(idxs), dtype=np.int64)
+            for depth in range(len(levels) - 1, 0, -1):
+                (slopes, intercepts, anchors), lower_first = levels[depth]
+                sel = np.minimum(seg_idx, len(slopes) - 1)
+                lo, hi = batching.window_bounds(
+                    slopes[sel], intercepts[sel], anchors[sel], ksub,
+                    eps, len(lower_first))
+                ub = np.searchsorted(lower_first, ksub, side="right")
+                steps = batching.simulate_binary(lo, hi, ub)
+                me[idxs] += 1
+                nh[idxs] += 1
+                kc[idxs] += steps
+                cp[idxs] += batching.cache_probe_units(steps)
+                seg_idx = np.maximum(np.clip(ub, lo, hi) - 1, 0)
+            (slopes, intercepts, anchors), _ = levels[0]
+            lo, hi = batching.window_bounds(
+                slopes[seg_idx], intercepts[seg_idx], anchors[seg_idx],
+                ksub, eps, n_run)
+            r = np.searchsorted(keys_np, ksub, side="left")
+            steps = batching.simulate_binary(lo, hi, r)
+            me[idxs] += 1
+            nh[idxs] += 1
+            kc[idxs] += steps
+            cp[idxs] += batching.cache_probe_units(steps)
+            final = np.clip(r, lo, hi)
+            hit = (final < n_run) & (
+                keys_np[np.minimum(final, n_run - 1)] == ksub)
+            run_values = run.values
+            for j in np.flatnonzero(hit):
+                gi = int(idxs[j])
+                v = run_values[int(final[j])]
+                nt[gi] = int(probed[gi])
+                if v is not _TOMBSTONE:
+                    found[gi] = True
+                    values[gi] = v
+                active[gi] = False
+        for gi in np.flatnonzero(active):
+            nt[int(gi)] = int(probed[int(gi)])
+        log = batching.ChargeLog(B)
+        traversed = probed > 0
+        log.add(PHASE_SEARCH, KEY_COMPARE, np.ones(B, dtype=np.int64),
+                reached=buffer_miss)
+        log.add(PHASE_TRAVERSE, MODEL_EVAL, me, reached=traversed)
+        log.add(PHASE_TRAVERSE, NODE_HOP, nh, reached=traversed)
+        log.add(PHASE_TRAVERSE, KEY_COMPARE, kc, reached=traversed)
+        log.add(PHASE_TRAVERSE, CACHE_PROBE, cp, reached=cp > 0)
+
+        def make_record(i: int) -> OpRecord:
+            return OpRecord(op="lookup", key=keys[i], found=found[i],
+                            nodes_traversed=nt[i])
+
+        return batching.BatchLookup(values, log, make_record)
 
     # -- insert ------------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.cost import (
+    CACHE_PROBE,
     KEY_COMPARE,
     MODEL_EVAL,
     NODE_HOP,
@@ -26,6 +27,7 @@ from repro.core.cost import (
     charge_binary_search,
 )
 from repro.core.validate import Violation, sorted_violations
+from repro.indexes import batching
 from repro.indexes.base import (
     KEY_BYTES,
     PAYLOAD_BYTES,
@@ -58,10 +60,12 @@ class RMI(OrderedIndex):
         self._root = LinearModel()
         self._leaf_models: List[LinearModel] = []
         self._leaf_errors: List[int] = []
+        self._batch_cache: Any = None
 
     # -- build --------------------------------------------------------------
 
     def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self._batch_cache = None
         self.check_sorted(items)
         self._keys = [k for k, _ in items]
         self._values = [v for _, v in items]
@@ -77,8 +81,9 @@ class RMI(OrderedIndex):
         self.meter.charge(TRAIN_KEY, n)
         # Partition by the stage-1 prediction, then fit each partition.
         buckets: List[List[int]] = [[] for _ in range(self.fanout)]
+        route = self._root.predictor(self.fanout)
         for idx, k in enumerate(self._keys):
-            buckets[self._root.predict_clamped(k, self.fanout)].append(idx)
+            buckets[route(k)].append(idx)
         for m, bucket in enumerate(buckets):
             if not bucket:
                 continue
@@ -134,6 +139,62 @@ class RMI(OrderedIndex):
         self.last_op = OpRecord(op="lookup", key=key, found=found,
                                 nodes_traversed=2)
         return self._values[i] if found else None
+
+    def _lookup_batch(self, keys: Sequence[Key]):
+        """Vectorized two-stage lookup (see ``repro.indexes.batching``).
+
+        Stage-1 routing, the stage-2 predictions, the bounded binary
+        search, and the edge-spill loops are all replayed with rank
+        arithmetic: ``np.searchsorted`` gives every key's true rank
+        ``r``; every ``self._keys[mid] < key`` comparison is then
+        ``mid < r``, and the spill loops walk ``|clip(r, lo, hi) - r|``
+        steps to land exactly on ``r``.
+        """
+        ks = batching.key_array(keys)
+        n = len(self._keys)
+        if ks is None or n == 0:
+            return None
+        cache = self._batch_cache
+        if cache is None:
+            keys_np = batching.int64_cache(self._keys)
+            models = batching.model_arrays(self._leaf_models)
+            if keys_np is None or models is None:
+                return None
+            errors = batching.int64_cache(self._leaf_errors)
+            cache = self._batch_cache = (keys_np, models, errors)
+        keys_np, (slopes, intercepts, anchors), errors = cache
+        np = batching._np
+        m = batching.predict_clamped_vec(self._root, ks, self.fanout)
+        err = errors[m]
+        # Per-model error bounds make the window per-key; inline the
+        # ``window_bounds`` form with the gathered ``err``.
+        pred = batching.predict_vec(slopes[m], intercepts[m], anchors[m], ks)
+        c = float(n) + float(errors.max()) + 4.0
+        p = np.clip(pred, -c, c).astype(np.int64)
+        hi = np.clip(p + err + 2, 0, n)
+        lo = np.minimum(np.maximum(p - err - 1, 0), hi)
+        r = np.searchsorted(keys_np, ks, side="left")
+        probes = batching.simulate_binary(lo, hi, r)
+        spill = np.abs(np.clip(r, lo, hi) - r)
+        cp = batching.cache_probe_units(probes)
+        found = (r < n) & (keys_np[np.minimum(r, n - 1)] == ks)
+        B = len(ks)
+        log = batching.ChargeLog(B)
+        log.add(PHASE_SEARCH, MODEL_EVAL, np.full(B, 2, dtype=np.int64))
+        log.add(PHASE_SEARCH, NODE_HOP, np.ones(B, dtype=np.int64))
+        log.add(PHASE_SEARCH, KEY_COMPARE, probes + spill)
+        log.add(PHASE_SEARCH, CACHE_PROBE, cp, reached=cp > 0)
+        values = [None] * B
+        vals = self._values
+        for i in np.flatnonzero(found):
+            values[i] = vals[r[i]]
+        found_list = found.tolist()
+
+        def make_record(i: int) -> OpRecord:
+            return OpRecord(op="lookup", key=keys[i], found=found_list[i],
+                            nodes_traversed=2)
+
+        return batching.BatchLookup(values, log, make_record)
 
     # -- mutations: the point of the paper ---------------------------------------
 

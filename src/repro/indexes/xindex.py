@@ -26,6 +26,7 @@ from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.cost import (
     ALLOC_NODE,
+    CACHE_PROBE,
     charge_binary_search,
     KEY_COMPARE,
     KEY_SHIFT,
@@ -56,6 +57,7 @@ from repro.indexes.base import (
     OrderedIndex,
     Value,
 )
+from repro.indexes import batching
 from repro.indexes.linear_model import LinearModel
 
 _GROUP_HEADER_BYTES = 64
@@ -102,11 +104,14 @@ class XIndex(OrderedIndex):
         #: Virtual time the last compaction cost — tail-latency benches
         #: read this to attribute merge spikes.
         self.last_compaction_cost = 0.0
+        #: Batch-lookup tables; ``None`` = stale (see ``_batch_tables``).
+        self._batch_cache: Any = None
 
     # -- build --------------------------------------------------------------
 
     def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
         self.check_sorted(items)
+        self._batch_cache = None
         self._groups = []
         for start in range(0, len(items), self.target_group_keys):
             chunk = items[start : start + self.target_group_keys]
@@ -203,6 +208,115 @@ class XIndex(OrderedIndex):
                                 path=[g.node_id], nodes_traversed=2)
         return None
 
+    def _batch_tables(self):
+        """Index-wide arrays for the batch path: group pivots, the
+        concatenated frozen/delta key arrays, per-(group, segment)
+        model parameters, and a padded 2D table of segment first keys
+        for the vectorized segment scan.  Rebuilt lazily after any
+        mutation; ``False`` when unusable."""
+        cache = self._batch_cache
+        if cache is None:
+            groups = self._groups
+            if any(not g.keys for g in groups):
+                # Only a pre-bulk-load index has keyless groups; their
+                # lower bound short-circuits with no charges, so bail.
+                cache = self._batch_cache = False
+                return cache
+            pivots = batching.int64_cache([g.pivot for g in groups])
+            models = batching.model_arrays(
+                [s.model for g in groups for s in g.segments])
+            main = batching.ConcatTable.build([g.keys for g in groups])
+            delta = batching.ConcatTable.build(
+                [g.delta_keys for g in groups])
+            fks = batching.int64_cache(
+                [s.first_key for g in groups for s in g.segments])
+            if (pivots is None or models is None or main is None
+                    or delta is None or fks is None):
+                cache = self._batch_cache = False
+                return cache
+            np = batching._np
+            nm = np.asarray([len(g.segments) for g in groups],
+                            dtype=np.int64)
+            seg_off = np.zeros(len(groups) + 1, dtype=np.int64)
+            np.cumsum(nm, out=seg_off[1:])
+            fk2d = np.zeros((len(groups), int(nm.max())), dtype=np.int64)
+            for gi, g in enumerate(groups):
+                fk2d[gi, : len(g.segments)] = fks[seg_off[gi]:seg_off[gi + 1]]
+            node_ids = [g.node_id for g in groups]
+            cache = self._batch_cache = (
+                pivots, models, main, delta, nm, seg_off, fk2d, node_ids)
+        return cache
+
+    def _lookup_batch(self, keys: Sequence[Key]):
+        """Vectorized lookup: root-model routing with the hint walk
+        replayed as ``1 + |i_final - hint|``, a masked 2D segment scan
+        (groups hold at most ~4 models), rank-replayed ±ε window
+        searches over the concatenated frozen arrays, and the same
+        trick for the per-group deltas."""
+        ks = batching.key_array(keys)
+        if ks is None:
+            return None
+        cache = self._batch_tables()
+        if cache is False:
+            return None
+        (pivots, (slopes, intercepts, anchors), main, delta, nm, seg_off,
+         fk2d, node_ids) = cache
+        np = batching._np
+        B = len(ks)
+        hint = batching.predict_clamped_vec(
+            self._root_model, ks, len(node_ids))
+        gi = np.maximum(np.searchsorted(pivots, ks, side="right") - 1, 0)
+        t_kc = 1 + np.abs(gi - hint)
+        live = (np.arange(fk2d.shape[1], dtype=np.int64)[None, :]
+                < nm[gi][:, None])
+        c = ((fk2d[gi] <= ks[:, None]) & live).sum(axis=1)
+        scan_kc = np.minimum(c + 1, nm[gi])
+        chosen = seg_off[gi] + np.maximum(c - 1, 0)
+        lens = main.lens[gi]
+        lo, hi = batching.window_bounds(
+            slopes[chosen], intercepts[chosen], anchors[chosen], ks,
+            self.epsilon, lens)
+        r = main.rank_local(ks, gi)
+        probes = batching.simulate_binary(lo, hi, r)
+        cp = batching.cache_probe_units(probes)
+        i = np.clip(r, lo, hi)
+        in_main = (i < lens) & (
+            main.cat[np.minimum(main.offsets[gi] + i, len(main.cat) - 1)]
+            == ks)
+        miss = ~in_main
+        if len(delta.cat):
+            rd = delta.rank_local(ks, gi)
+            in_delta = miss & (rd < delta.lens[gi]) & (
+                delta.cat[np.minimum(delta.offsets[gi] + rd,
+                                     len(delta.cat) - 1)] == ks)
+        else:
+            rd = np.zeros(B, dtype=np.int64)
+            in_delta = np.zeros(B, dtype=bool)
+        s_kc = scan_kc + probes + np.where(miss, delta.bl[gi], 0)
+        values: List[Optional[Value]] = [None] * B
+        groups = self._groups
+        for j in np.flatnonzero(in_main):
+            values[j] = groups[int(gi[j])].values[int(i[j])]
+        for j in np.flatnonzero(in_delta):
+            values[j] = groups[int(gi[j])].delta_values[int(rd[j])]
+        found = (in_main | in_delta).tolist()
+        gi_list = gi.tolist()
+        log = batching.ChargeLog(B)
+        log.add(PHASE_TRAVERSE, NODE_HOP, 2)
+        log.add(PHASE_TRAVERSE, MODEL_EVAL, 1)
+        log.add(PHASE_TRAVERSE, KEY_COMPARE, t_kc)
+        log.add(PHASE_SEARCH, KEY_COMPARE, s_kc)
+        log.add(PHASE_SEARCH, MODEL_EVAL, 1)
+        log.add(PHASE_SEARCH, CACHE_PROBE, cp, reached=cp > 0)
+        log.add(PHASE_SEARCH, NODE_HOP, np.ones(B, dtype=np.int64),
+                reached=miss)
+
+        def make_record(i: int) -> OpRecord:
+            return OpRecord(op="lookup", key=keys[i], found=found[i],
+                            path=[node_ids[gi_list[i]]], nodes_traversed=2)
+
+        return batching.BatchLookup(values, log, make_record)
+
     def insert(self, key: Key, value: Value) -> bool:
         with self.meter.phase(PHASE_TRAVERSE):
             gi, g = self._find_group(key)
@@ -219,6 +333,7 @@ class XIndex(OrderedIndex):
                                         path=[g.node_id], nodes_traversed=2)
                 return False
         shifted = len(g.delta_keys) - j
+        self._batch_cache = None
         with self.meter.phase(PHASE_COLLISION):
             g.delta_keys.insert(j, key)
             g.delta_values.insert(j, value)
