@@ -25,6 +25,8 @@ from repro.core.hardness import (
     pla_hardness,
 )
 from repro.core.heatmap import Heatmap, compute_heatmap
+from repro.core.instance import IndexInstance
+from repro.core.migrate import MigrationReport, run_migration
 from repro.core.opstream import (
     DifferentialObserver,
     OpStream,
@@ -49,12 +51,14 @@ from repro.core.telemetry import (
 from repro.core.validate import ValidationObserver, Violation, debug_validate
 from repro.core.workloads import (
     Workload,
+    churn_workload,
     deletion_workload,
     mixed_workload,
     scan_workload,
     shift_workload,
     ycsb_workload,
 )
+from repro.indexes.multiplex import MultiplexIndex
 from repro.indexes.alex import ALEX
 from repro.indexes.art import ART
 from repro.indexes.base import MemoryBreakdown, OrderedIndex
@@ -80,12 +84,13 @@ __all__ = [
     "ALEX", "ART", "BPlusTree", "FINEdex", "FITingTree", "HOT", "LIPP",
     "Masstree", "PGMIndex", "RMI", "Wormhole", "XIndex",
     "CostMeter", "CostProfiler", "DifferentialObserver", "ExecutionEngine",
-    "ExecutionObserver", "Heatmap", "IndexRegistry", "IndexSpec",
-    "MemoryBreakdown", "MetricsCollector", "MetricsRegistry", "OpEvent",
+    "ExecutionObserver", "Heatmap", "IndexInstance", "IndexRegistry",
+    "IndexSpec", "MemoryBreakdown", "MetricsCollector", "MetricsRegistry",
+    "MigrationReport", "MultiplexIndex", "OpEvent",
     "OpStream", "OracleReport", "OrderedIndex", "REGISTRY", "RunResult",
     "Telemetry", "TraceRecorder", "ValidationObserver", "Violation",
-    "Workload", "compute_heatmap", "debug_validate", "deletion_workload",
-    "execute", "run_oracle",
+    "Workload", "churn_workload", "compute_heatmap", "debug_validate",
+    "deletion_workload", "execute", "run_migration", "run_oracle",
     "global_hardness", "local_hardness", "mixed_workload", "mse_hardness",
     "optimal_pla", "pla_hardness", "scan_workload", "shift_workload",
     "ycsb_workload", "LEARNED_INDEXES", "TRADITIONAL_INDEXES",

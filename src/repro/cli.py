@@ -26,6 +26,7 @@ from repro.core.report import ascii_chart, format_bytes, table
 from repro.core.workloads import (
     MIX_FRACTIONS,
     MIX_NAMES,
+    churn_workload,
     deletion_workload,
     mixed_workload,
     scan_workload,
@@ -50,9 +51,12 @@ def _workload(args, keys):
     if name.startswith("scan"):
         size = int(name.split(":")[1]) if ":" in name else 100
         return scan_workload(keys, size, max(20, args.ops // size), seed=args.seed)
+    if name.startswith("churn"):
+        frac = float(name.split(":")[1]) if ":" in name else 0.5
+        return churn_workload(keys, frac, n_ops=args.ops, seed=args.seed)
     raise SystemExit(
         f"unknown workload {name!r}; use one of {MIX_NAMES}, ycsb-a/b/c, "
-        "delete, scan[:SIZE]"
+        "delete, scan[:SIZE], churn[:WRITE_FRAC]"
     )
 
 
@@ -69,15 +73,18 @@ def cmd_list(args) -> int:
             "x" if spec.supports_delete else "",
             "x" if spec.supports_range else "",
             "x" if spec.supports_batch else "",
+            "x" if spec.supports_migration else "",
             concurrent.get(spec.name, "") or "",
             ",".join(sorted(spec.tags)),
         ])
     print(table(
         ["Index", "Family", "insert", "delete", "range", "batch",
-         "concurrent", "tags"],
+         "migrate", "concurrent", "tags"],
         rows, title=f"Index registry ({len(REGISTRY)} entries)"))
     print("\nbatch = numpy-vectorized lookup_many fast path "
-          "(see `repro bench`); every index accepts the *_many APIs.")
+          "(see `repro bench`); every index accepts the *_many APIs.\n"
+          "migrate = eligible for zero-downtime live migration "
+          "(see `repro migrate`).")
     return 0
 
 
@@ -496,6 +503,11 @@ def cmd_fuzz(args) -> int:
                 paths += sorted(
                     os.path.join(p, f) for f in os.listdir(p)
                     if f.endswith(".jsonl"))
+            elif not os.path.exists(p):
+                raise SystemExit(
+                    f"repro fuzz --replay: {p!r} does not exist "
+                    "(expected a saved opstream .jsonl file or a "
+                    "directory of them)")
             else:
                 paths.append(p)
         failed = 0
@@ -531,6 +543,52 @@ def cmd_fuzz(args) -> int:
     print(f"\nfuzzed {len(specs)} index(es) x {args.budget} ops: "
           f"{len(failures)} failure(s)")
     return 1 if failures else 0
+
+
+def cmd_migrate(args) -> int:
+    import json
+
+    from repro.core.migrate import resolve_index_name, run_migration
+
+    try:
+        src = resolve_index_name(args.src)
+        dst = resolve_index_name(args.dst)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    if src == dst:
+        raise SystemExit(f"source and destination are both {src}")
+    keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
+    wl = _workload(args, keys)
+    try:
+        report = run_migration(src, dst, wl, chunk=args.chunk,
+                               pump_per_op=args.pump, seed=args.seed)
+    except ValueError as exc:  # capability refusal, not a crash
+        raise SystemExit(str(exc)) from None
+    if report.repro is not None and args.repro_dir:
+        import os
+
+        os.makedirs(args.repro_dir, exist_ok=True)
+        dest = os.path.join(
+            args.repro_dir,
+            f"migrate-{src.replace('+', 'plus')}-to-"
+            f"{dst.replace('+', 'plus')}-seed{args.seed}.jsonl")
+        report.repro.save(dest)
+        report.repro_path = dest
+    if args.bench:
+        with open(args.bench, "w") as f:
+            json.dump(report.to_dict(), f, indent=2)
+        print(f"wrote {args.bench}")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.describe())
+    if not report.ok:
+        return 1
+    if report.verified_fraction < args.min_verified:
+        print(f"FAIL: verified fraction {report.verified_fraction:.2%} < "
+              f"--min-verified {args.min_verified:.2%}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_compare_runs(args) -> int:
@@ -713,6 +771,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="replay saved stream file(s)/director(ies) "
                          "instead of fuzzing (repeatable)")
 
+    sp = sub.add_parser(
+        "migrate",
+        help="zero-downtime live migration between two indexes under a "
+             "live workload, with oracle-verified cutover")
+    sp.add_argument("src", help="index to migrate from (e.g. btree)")
+    sp.add_argument("dst", help="index to migrate to (e.g. alex)")
+    sp.add_argument("--chunk", type=int, default=128,
+                    help="keys per interleaved backfill/verify chunk")
+    sp.add_argument("--pump", type=int, default=1,
+                    help="background chunks pumped per client op")
+    sp.add_argument("--min-verified", type=float, default=1.0,
+                    dest="min_verified",
+                    help="fail unless at least this fraction of keys "
+                         "was value-verified before cutover")
+    sp.add_argument("--bench", default="",
+                    help="write the migration report JSON here")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable report")
+    sp.add_argument("--repro-dir", default="", dest="repro_dir",
+                    help="directory for the shrunk divergence repro "
+                         "stream, if the migration aborts")
+    common(sp, workload=True)
+
     sp = sub.add_parser("compare-runs",
                         help="regressions between two result files")
     sp.add_argument("baseline")
@@ -735,6 +816,7 @@ _COMMANDS = {
     "diagnose": cmd_diagnose,
     "profile": cmd_profile,
     "fuzz": cmd_fuzz,
+    "migrate": cmd_migrate,
     "compare-runs": cmd_compare_runs,
 }
 

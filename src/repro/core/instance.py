@@ -1,0 +1,214 @@
+"""Instance lifecycle layer: named, stateful wrappers around indexes.
+
+The execution stack used to hand the engine a *bare* index; nothing in
+the system knew whether that index was still bulk loading, serving
+traffic, or halfway through being replaced.  An :class:`IndexInstance`
+is the missing operational identity: one registry-built index plus
+
+* a **state machine** — ``LOADING -> SERVING -> MIGRATING -> DRAINING
+  -> RETIRED`` with explicit legal transitions (illegal ones raise
+  :class:`StateError` instead of silently corrupting a rollout),
+* an **admission policy** — which operation kinds each state accepts
+  (``DRAINING`` serves reads while refusing writes; ``RETIRED`` refuses
+  everything).  Rejections are counted, never silently dropped, so a
+  migration run can prove "zero lookup downtime" as a measured fact,
+* **telemetry-fed status** — the instance implements the execution
+  engine's observer protocol (duck-typed, like
+  :class:`~repro.core.validate.ValidationObserver`), so attaching it to
+  a run feeds per-op-kind counts, the last SMO's sequence number, and
+  backfill progress events into :meth:`status` with zero hot-path cost
+  beyond the observer call the engine already makes.
+
+The engine (:mod:`repro.core.runner`) now routes every run through an
+instance; a bare index is wrapped on entry via :meth:`IndexInstance.wrap`,
+which is what keeps the single-instance path byte-identical to the
+pre-instance releases (the wrapper adds observers, never charges).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.workloads import DELETE, INSERT, LOOKUP, SCAN, UPDATE
+
+__all__ = [
+    "LOADING", "SERVING", "MIGRATING", "DRAINING", "RETIRED", "STATES",
+    "AdmissionError", "IndexInstance", "StateError",
+]
+
+#: Lifecycle states, in the order a healthy migration walks them.
+LOADING = "loading"
+SERVING = "serving"
+MIGRATING = "migrating"
+DRAINING = "draining"
+RETIRED = "retired"
+STATES = (LOADING, SERVING, MIGRATING, DRAINING, RETIRED)
+
+#: Legal transitions.  ``MIGRATING -> SERVING`` is the rollback edge: a
+#: diverging migration aborts and the primary resumes normal service.
+_TRANSITIONS: Dict[str, frozenset] = {
+    LOADING: frozenset({SERVING, RETIRED}),
+    SERVING: frozenset({MIGRATING, DRAINING, RETIRED}),
+    MIGRATING: frozenset({SERVING, DRAINING, RETIRED}),
+    DRAINING: frozenset({RETIRED}),
+    RETIRED: frozenset(),
+}
+
+READ_OPS = frozenset({LOOKUP, SCAN})
+WRITE_OPS = frozenset({INSERT, UPDATE, DELETE})
+ALL_OPS = READ_OPS | WRITE_OPS
+
+#: Admission policy per state.  MIGRATING admits everything — that is
+#: the whole point of multiplexed migration: clients never notice.
+_ADMISSION: Dict[str, frozenset] = {
+    LOADING: frozenset(),
+    SERVING: ALL_OPS,
+    MIGRATING: ALL_OPS,
+    DRAINING: READ_OPS,
+    RETIRED: frozenset(),
+}
+
+
+class StateError(RuntimeError):
+    """An illegal lifecycle transition or state-gated call."""
+
+
+class AdmissionError(RuntimeError):
+    """An operation rejected by the instance's admission policy."""
+
+    def __init__(self, instance: "IndexInstance", op_kind: str) -> None:
+        super().__init__(
+            f"instance {instance.name!r} ({instance.state}) does not admit "
+            f"{op_kind!r} operations")
+        self.instance = instance
+        self.op_kind = op_kind
+
+
+class IndexInstance:
+    """One index with an operational identity.
+
+    Implements the :class:`~repro.core.runner.ExecutionObserver`
+    protocol (duck-typed) so the engine can feed it: attach it to a run
+    — the engine does this automatically for the instance it executes —
+    and :meth:`status` reports live op counts and SMO recency.
+    """
+
+    def __init__(
+        self,
+        index: Any,
+        name: str = "",
+        spec: Any = None,
+        state: str = LOADING,
+    ) -> None:
+        if state not in STATES:
+            raise StateError(f"unknown instance state {state!r}")
+        self.index = index
+        self.name = name or getattr(index, "name", "index")
+        self.spec = spec
+        self._state = state
+        #: Chronological event log: state changes + backfill progress.
+        self.events: List[dict] = []
+        self.op_counts: Dict[str, int] = {}
+        self.rejected: Dict[str, int] = {}
+        self.smo_count = 0
+        self.last_smo_seq: Optional[int] = None
+        self._progress: Optional[dict] = None
+        #: Extra callbacks invoked with each recorded event dict.
+        self.listeners: List[Callable[[dict], None]] = []
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def wrap(cls, index: Any) -> "IndexInstance":
+        """A fresh LOADING instance around ``index`` (engine entry path)."""
+        if isinstance(index, IndexInstance):
+            return index
+        return cls(index)
+
+    # -- the state machine ----------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def advance(self, state: str, reason: str = "") -> "IndexInstance":
+        """Move to ``state``; anything not in the transition table raises."""
+        if state not in STATES:
+            raise StateError(f"unknown instance state {state!r}")
+        if state not in _TRANSITIONS[self._state]:
+            raise StateError(
+                f"instance {self.name!r}: illegal transition "
+                f"{self._state} -> {state}")
+        self._emit({"event": "state", "from": self._state, "to": state,
+                    "reason": reason})
+        self._state = state
+        return self
+
+    def admits(self, op_kind: str) -> bool:
+        """Whether the admission policy accepts ``op_kind`` right now."""
+        return op_kind in _ADMISSION[self._state]
+
+    def admit(self, op_kind: str) -> None:
+        """Raise :class:`AdmissionError` (and count it) unless admitted."""
+        if not self.admits(op_kind):
+            self.rejected[op_kind] = self.rejected.get(op_kind, 0) + 1
+            raise AdmissionError(self, op_kind)
+
+    def bulk_load(self, items: Any) -> None:
+        """Load the wrapped index and transition LOADING -> SERVING."""
+        if self._state != LOADING:
+            raise StateError(
+                f"instance {self.name!r}: bulk_load requires LOADING, "
+                f"is {self._state}")
+        self.index.bulk_load(items)
+        self.advance(SERVING, f"bulk loaded {len(items)} items")
+
+    # -- telemetry-fed status --------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        self.events.append(event)
+        for listener in self.listeners:
+            listener(event)
+
+    def note_backfill(self, done: int, total: int, stage: str = "backfill") -> None:
+        """Record one backfill/verify progress tick (migration feed)."""
+        self._progress = {"event": "progress", "stage": stage,
+                          "done": done, "total": total}
+        self._emit(self._progress)
+
+    @property
+    def ops_total(self) -> int:
+        return sum(self.op_counts.values())
+
+    def status(self) -> dict:
+        """Operational snapshot: state, size, traffic, SMO recency."""
+        return {
+            "name": self.name,
+            "index": getattr(self.index, "name", type(self.index).__name__),
+            "state": self._state,
+            "size": len(self.index),
+            "ops": self.ops_total,
+            "op_counts": dict(self.op_counts),
+            "rejected": dict(self.rejected),
+            "smo_count": self.smo_count,
+            "last_smo_seq": self.last_smo_seq,
+            "progress": dict(self._progress) if self._progress else None,
+            "events": len(self.events),
+        }
+
+    # -- ExecutionObserver protocol (duck-typed) -------------------------------
+
+    def on_phase(self, phase: str, index: Any, workload: Any) -> None:
+        pass
+
+    def on_op(self, event: Any, latency: Optional[float]) -> None:
+        kind = event.op.op
+        self.op_counts[kind] = self.op_counts.get(kind, 0) + 1
+
+    def on_smo(self, event: Any) -> None:
+        self.smo_count += 1
+        self.last_smo_seq = event.seq
+
+    def __repr__(self) -> str:
+        return (f"IndexInstance({self.name!r}, state={self._state}, "
+                f"size={len(self.index)})")

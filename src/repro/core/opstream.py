@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.core.instance import IndexInstance
 from repro.core.registry import REGISTRY, IndexSpec
 from repro.core.results import load_jsonl, save_jsonl
 from repro.core.runner import ExecutionEngine
@@ -291,7 +292,10 @@ def run_oracle(
     engine = ExecutionEngine(observers=[validator, differ])
     report = OracleReport(stream=stream)
     try:
-        engine.run(factory(), stream.to_workload())
+        # Route through the instance layer like every other run; the
+        # instance's telemetry (op counts, SMO recency) then describes
+        # the replay for free and crashes leave its state inspectable.
+        engine.run(IndexInstance.wrap(factory()), stream.to_workload())
     except Exception as exc:  # noqa: BLE001 — crashes are findings
         report.crash = f"{type(exc).__name__}: {exc}"
     report.violations = list(validator.violations)

@@ -72,6 +72,11 @@ class IndexSpec:
     #: the default is a scalar loop; this flag marks where batching is
     #: actually faster).
     supports_batch: bool = False
+    #: Whether the index can take part in live migration
+    #: (:mod:`repro.core.migrate`): migrating *from* needs ``range_scan``
+    #: for the backfill snapshot cursor, migrating *to* needs inserts —
+    #: so the flag requires both.
+    supports_migration: bool = False
     tags: frozenset = field(default_factory=frozenset)
     #: Concurrent variant (Section 4.2), bound by the adapters module.
     concurrent_name: Optional[str] = None
@@ -224,6 +229,8 @@ def _populate(reg: IndexRegistry) -> IndexRegistry:
             is_learned=factory.is_learned,
             supports_delete=factory.supports_delete,
             supports_range=factory.supports_range,
+            supports_migration=(caps.get("supports_insert", True)
+                                and factory.supports_range),
             tags=tags,
             **caps,
         ))

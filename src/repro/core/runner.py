@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.instance import LOADING, IndexInstance
 from repro.core.workloads import DELETE, INSERT, LOOKUP, SCAN, UPDATE, Operation, Workload
 from repro.indexes.base import MemoryBreakdown, OpRecord, OrderedIndex
 
@@ -431,16 +432,33 @@ class ExecutionEngine:
                     obs.on_op(event, latency)
             i = j
 
-    def run(self, index: OrderedIndex, workload: Workload) -> RunResult:
-        """Bulk load, run the operation stream, return measurements."""
+    def run(self, target, workload: Workload) -> RunResult:
+        """Bulk load, run the operation stream, return measurements.
+
+        ``target`` is an :class:`~repro.core.instance.IndexInstance` or
+        a bare index (wrapped on entry).  Every run now routes through
+        the instance lifecycle layer: the instance rides along as an
+        observer feeding its telemetry status, and its state machine
+        gates the bulk load (only a LOADING instance gets one).  A bare
+        index takes exactly the path previous releases took — the
+        wrapper observes and never charges, so results and fingerprints
+        are bit-identical.
+        """
+        instance = IndexInstance.wrap(target)
+        index: OrderedIndex = instance.index
         sampler = LatencySampler()
         istats = InsertStatsCollector()
         scans = ScanAccountant()
-        observers = [sampler, istats, scans, *self.observers]
+        observers = [sampler, istats, scans, *self.observers, instance]
 
         for obs in observers:
             obs.on_phase("bulk_load", index, workload)
-        index.bulk_load(workload.bulk_items)
+        if instance.state == LOADING:
+            instance.bulk_load(workload.bulk_items)
+        elif workload.bulk_items:
+            raise RuntimeError(
+                f"instance {instance.name!r} is {instance.state}; only a "
+                "LOADING instance can bulk load a workload's items")
         if self.reset_meter:
             index.meter.reset()
         for obs in observers:
@@ -473,28 +491,19 @@ class ExecutionEngine:
         )
 
 
-def execute(
-    index: OrderedIndex,
-    workload: Workload,
-    sample_every: int = 101,
-    reset_meter: bool = True,
-    observers: Sequence[ExecutionObserver] = (),
-    telemetry: Optional["Telemetry"] = None,
-    batch_ops: int = 0,
-) -> RunResult:
+def execute(target, workload: Workload, **engine_options) -> RunResult:
     """Bulk load, run the operation stream, return measurements.
 
-    One-call wrapper over :class:`ExecutionEngine`.  ``observers`` and
-    ``telemetry`` attach extra collectors without constructing an
-    engine; with both omitted only the stock observers run and the
-    :class:`RunResult` is byte-identical to previous releases.
-    ``batch_ops`` enables observationally-identical batched lookup
-    dispatch (see :class:`ExecutionEngine`).
+    One-call wrapper over :class:`ExecutionEngine`: ``engine_options``
+    are forwarded verbatim to the engine constructor (``sample_every``,
+    ``reset_meter``, ``observers``, ``telemetry``, ``batch_ops``), so
+    there is exactly one place engine defaults live.  ``target`` is an
+    index or an :class:`~repro.core.instance.IndexInstance`; with no
+    options the :class:`RunResult` is byte-identical to previous
+    releases (the fingerprint parity test in tests/test_instance.py
+    pins this).
     """
-    engine = ExecutionEngine(sample_every=sample_every, reset_meter=reset_meter,
-                             observers=observers, telemetry=telemetry,
-                             batch_ops=batch_ops)
-    return engine.run(index, workload)
+    return ExecutionEngine(**engine_options).run(target, workload)
 
 
 def best_throughput(results: List[RunResult]) -> RunResult:

@@ -202,6 +202,47 @@ def scan_workload(
     return Workload(f"scan-{scan_size}", _items(keys), ops)
 
 
+def churn_workload(
+    keys: Sequence[int],
+    write_frac: float = 0.5,
+    n_ops: Optional[int] = None,
+    theta: float = 0.99,
+    seed: int = 0,
+) -> Workload:
+    """Zipfian live churn: hot-key lookups under a steady insert stream.
+
+    The migration benchmark's stand-in for production traffic: half the
+    (shuffled) keys bulk load, inserts drain the other half in shuffled
+    order, and every lookup picks a scrambled-Zipfian *hot* key among
+    the bulk-loaded set — so reads hammer a skewed working set while
+    the key space keeps growing under the index being migrated.
+    Deterministic per (``write_frac``, ``seed``) like every builder.
+    """
+    if not 0.0 < write_frac < 1.0:
+        raise ValueError("churn needs both reads and writes: "
+                         "write_frac must be in (0, 1)")
+    rng = random.Random(f"churn-{write_frac}-{seed}")
+    keys = list(keys)
+    rng.shuffle(keys)
+    half = len(keys) // 2
+    loaded = sorted(keys[:half])
+    pending = keys[half:]
+    chooser = ScrambledZipfian(loaded, theta=theta, seed=seed)
+    if n_ops is None:
+        n_ops = len(keys)
+    ops: List[Operation] = []
+    pi = 0
+    for _ in range(n_ops):
+        if pi < len(pending) and rng.random() < write_frac:
+            k = pending[pi]
+            pi += 1
+            ops.append(Operation(INSERT, k, payload(k)))
+        else:
+            ops.append(Operation(LOOKUP, chooser.next_key()))
+    return Workload("zipf-churn", _items(loaded), ops,
+                    write_fraction=write_frac)
+
+
 def ycsb_workload(
     keys: Sequence[int],
     variant: str,

@@ -99,12 +99,22 @@ class OrderedIndex(ABC):
     supports_delete: ClassVar[bool] = True
     supports_range: ClassVar[bool] = True
     supports_duplicates: ClassVar[bool] = False
+    #: Wrappers composing other indexes (e.g. the migration
+    #: multiplexer) — real implementations of the contract, but not
+    #: standalone registrable competitors.
+    is_adapter: ClassVar[bool] = False
 
     def __init__(self, meter: Optional[CostMeter] = None) -> None:
         self.meter = meter if meter is not None else CostMeter()
         self.last_op = OpRecord()
         self._size = 0
         self._node_serial = 0
+        #: Vectorized-lookup state (tables, or a wrapper's delegation
+        #: binding); dropped through :meth:`_invalidate_batch_cache`.
+        self._batch_cache: Optional[Any] = None
+        #: Bumped on every invalidation; batch loops snapshot it to
+        #: detect wrapper-driven mutation mid-batch.
+        self._mutation_gen = 0
 
     # -- node identity -------------------------------------------------------
 
@@ -159,6 +169,18 @@ class OrderedIndex(ABC):
         per-op values, charge log, and record factory — or ``None`` to
         take the scalar loop."""
         return None
+
+    def _invalidate_batch_cache(self) -> None:
+        """The one choke point for dropping batch state.
+
+        Every mutation that can stale a ``_batch_cache`` — an index's
+        own structural change, or a wrapper swapping/filling an inner
+        index (see :class:`~repro.indexes.multiplex.MultiplexIndex`) —
+        must route through here, never assign ``_batch_cache`` raw:
+        the generation bump is what lets the batch loops below detect
+        mid-batch mutation by a wrapper's scan/pump path."""
+        self._mutation_gen += 1
+        self._batch_cache = None
 
     def _loop_records(self, records: Optional[List[Optional[OpRecord]]]) -> Any:
         """Per-op ``last_op`` capture for the loop fallbacks: appends the
@@ -221,7 +243,16 @@ class OrderedIndex(ABC):
     def scan_many(self, starts: Sequence[Key], count: int,
                   records: Optional[List[Optional[OpRecord]]] = None,
                   ) -> List[List[Tuple[Key, Value]]]:
-        """Batched :meth:`range_scan`: one scan of ``count`` per start."""
+        """Batched :meth:`range_scan`: one scan of ``count`` per start.
+
+        Shares the batch-cache invalidation hook: a wrapper (e.g. a
+        migrating ``MultiplexIndex``) may mutate or even *swap* its
+        inner index from inside ``range_scan`` — its pump runs there —
+        so if the mutation generation moved during the batch, any batch
+        state bound mid-batch is dropped rather than served stale to
+        the next ``lookup_many``.
+        """
+        gen0 = self._mutation_gen
         capture = self._loop_records(records)
         out: List[List[Tuple[Key, Value]]] = []
         for start in starts:
@@ -229,6 +260,8 @@ class OrderedIndex(ABC):
             out.append(self.range_scan(start, count))
             if capture is not None:
                 capture(prev)
+        if self._mutation_gen != gen0:
+            self._invalidate_batch_cache()
         return out
 
     # -- introspection ---------------------------------------------------------

@@ -97,7 +97,7 @@ class FINEdex(OrderedIndex):
 
     def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
         self.check_sorted(items)
-        self._batch_cache = None
+        self._invalidate_batch_cache()
         self._segments = self._build_segments(list(items))
         # The first segment is the catch-all for keys below every pivot.
         self._segments[0].first_key = 0
@@ -286,7 +286,7 @@ class FINEdex(OrderedIndex):
             self.last_op = OpRecord(op="insert", key=key, found=True,
                                     path=[seg.node_id], nodes_traversed=2)
             return False
-        self._batch_cache = None
+        self._invalidate_batch_cache()
         with self.meter.phase(PHASE_COLLISION):
             bin_.insert(j, (key, value))
             seg.bin_entries += 1

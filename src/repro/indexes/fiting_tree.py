@@ -103,7 +103,7 @@ class FITingTree(OrderedIndex):
     # -- build --------------------------------------------------------------
 
     def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
-        self._batch_cache = None
+        self._invalidate_batch_cache()
         self.check_sorted(items)
         self._segments = self._segment_items(list(items))
         self._segments[0].first_key = 0
@@ -289,7 +289,7 @@ class FITingTree(OrderedIndex):
                                         path=[seg.node_id], nodes_traversed=2)
                 return False
         shifted = len(seg.buf_keys) - j
-        self._batch_cache = None
+        self._invalidate_batch_cache()
         with self.meter.phase(PHASE_COLLISION):
             seg.buf_keys.insert(j, key)
             seg.buf_values.insert(j, value)

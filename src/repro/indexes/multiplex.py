@@ -1,0 +1,477 @@
+"""Live-migration multiplexer: two indexes behind one ``OrderedIndex``.
+
+A :class:`MultiplexIndex` is the data-plane half of zero-downtime index
+migration (the control plane lives in :mod:`repro.core.migrate`).  It
+presents the full ``OrderedIndex`` contract — including the
+``lookup_many``/``insert_many``/``scan_many`` batch paths — while:
+
+* serving every **read** from the *primary* (the index being replaced),
+  so client-visible lookup latency never changes,
+* duplicating every **write** to primary *and* secondary, checking
+  write parity (a dual write that disagrees on success is divergence),
+* **backfilling** the secondary in interleaved chunks: each client op
+  pumps up to ``pump_per_op`` chunks copied from a snapshot cursor that
+  walks the primary in key order via ``range_scan``.  Pump work is
+  charged to the *secondary's* cost meter, never the client-visible
+  primary meter — migration overhead is measured, not hidden, and reads
+  stay exactly as cheap as before,
+* **verifying** after backfill completes: a second cursor sweep
+  value-compares every primary key against the secondary, then keys
+  dual-written during the sweep (the *dirty set*) are re-compared, then
+  sizes must match.  Only a fully verified secondary reaches ``ready``,
+* **cutting over** atomically between two client operations: the
+  primary reference, meter, and capability flags swap in one step with
+  no operation deferred or rejected (``cutover_stall_ops == 0`` by
+  construction).  On divergence the migration moves to ``failed``; an
+  :meth:`abort` detaches the secondary and the primary keeps serving.
+
+Divergence handling — comparing against the differential-oracle model
+and shrinking a repro stream with ``shrink_stream`` — is the
+controller's job; the multiplexer only *detects* and records
+:class:`Divergence` facts, so this module stays import-light (it must
+not depend on :mod:`repro.core.opstream`, which imports the runner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.indexes.base import (
+    Key,
+    MemoryBreakdown,
+    OpRecord,
+    OrderedIndex,
+    Value,
+)
+
+__all__ = [
+    "BACKFILL", "VERIFY", "READY", "DONE", "FAILED", "DETACHED",
+    "Divergence", "MultiplexIndex",
+]
+
+#: Migration phases of the multiplexer's pump state machine.
+BACKFILL = "backfill"
+VERIFY = "verify"
+READY = "ready"
+DONE = "done"        # cut over; the old secondary is now the primary
+FAILED = "failed"    # divergence detected; awaiting abort/rollback
+DETACHED = "detached"  # aborted; secondary dropped, primary serving
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed disagreement between primary and secondary."""
+
+    #: Client-op sequence number at detection time.
+    seq: int
+    #: Where it surfaced: "write" (dual-write parity), "backfill"
+    #: (copy hit an existing key with a different value), "verify"
+    #: (sweep or dirty-set re-check), "size" (cardinality mismatch).
+    stage: str
+    op: str
+    key: Key
+    expected: str
+    got: str
+
+    def describe(self) -> str:
+        return (f"[{self.stage}] seq={self.seq} {self.op} key={self.key}: "
+                f"expected {self.expected}, got {self.got}")
+
+
+class MultiplexIndex(OrderedIndex):
+    """Primary + shadow secondary multiplexed behind one index."""
+
+    name = "Multiplex"
+    is_learned = False
+    is_adapter = True
+
+    def __init__(
+        self,
+        primary: OrderedIndex,
+        secondary: OrderedIndex,
+        chunk: int = 128,
+        pump_per_op: int = 1,
+        auto_cutover: bool = False,
+        divergence_limit: int = 20,
+    ) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        if not primary.supports_range:
+            raise ValueError(
+                f"{primary.name} cannot be migrated from: the backfill "
+                "snapshot cursor needs range_scan support")
+        super().__init__(meter=primary.meter)
+        self.primary = primary
+        self.secondary: Optional[OrderedIndex] = secondary
+        self.retired: Optional[OrderedIndex] = None
+        self.chunk = chunk
+        self.pump_per_op = pump_per_op
+        self.auto_cutover = auto_cutover
+        self.divergence_limit = divergence_limit
+        self.phase = BACKFILL
+        # Capabilities: reads follow the primary; writes need both sides.
+        self.supports_delete = primary.supports_delete and secondary.supports_delete
+        self.supports_range = primary.supports_range
+        self.supports_duplicates = False
+        #: Next key the backfill snapshot cursor will copy from.
+        self._cursor: Key = 0
+        #: Next key the verification sweep will compare.
+        self._vcursor: Key = 0
+        #: Keys dual-written while verification was in flight; re-compared
+        #: before cutover so churn cannot slip past the sweep.
+        self._dirty: Set[Key] = set()
+        #: Keys already written to the secondary while backfill was in
+        #: flight.  The cursor must value-compare these instead of
+        #: re-inserting: LSM-style secondaries (PGM) blind-append on
+        #: insert, so "insert returned False" cannot detect duplicates.
+        self._shadow_written: Set[Key] = set()
+        self.divergences: List[Divergence] = []
+        #: Progress callback ``(stage, done, total)`` per pumped chunk.
+        self.progress_sink: Optional[Callable[[str, int, int], None]] = None
+        # Counters surfaced in the migration report.
+        self.backfill_keys = 0
+        self.backfill_chunks = 0
+        #: Backfill-cursor keys that were already dual-written (their
+        #: values get compared instead of copied).
+        self.backfill_duplicates = 0
+        self.verify_keys = 0
+        self.reverify_keys = 0
+        self.dual_writes = 0
+        self.cutover_seq: Optional[int] = None
+        #: Client ops deferred or rejected because of cutover: always 0 —
+        #: the swap happens inside a single pump, between client ops.
+        self.cutover_stall_ops = 0
+        self._seq = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def migrating(self) -> bool:
+        """Whether a secondary is still attached (not cut over/aborted)."""
+        return self.phase in (BACKFILL, VERIFY, READY, FAILED)
+
+    def _mirror(self, prev: OpRecord) -> None:
+        """Adopt the primary's fresh ``last_op`` (identity-compared, so
+        staleness semantics survive the wrapper: ops that leave the
+        primary's record stale leave ours stale too)."""
+        cur = self.primary.last_op
+        if cur is not prev:
+            self.last_op = cur
+
+    def _borrowed_meter(self):
+        """Context that charges the primary's next ops to the secondary's
+        meter — backfill/verify reads of the primary are migration
+        overhead, not client traffic."""
+        mux = self
+
+        class _Borrow:
+            def __enter__(self) -> None:
+                self._saved = mux.primary.meter
+                assert mux.secondary is not None
+                mux.primary.meter = mux.secondary.meter
+
+            def __exit__(self, *exc: Any) -> None:
+                mux.primary.meter = self._saved
+
+        return _Borrow()
+
+    def _diverge(self, stage: str, op: str, key: Key,
+                 expected: object, got: object) -> None:
+        if len(self.divergences) < self.divergence_limit:
+            self.divergences.append(Divergence(
+                seq=self._seq, stage=stage, op=op, key=key,
+                expected=repr(expected), got=repr(got)))
+        self.phase = FAILED
+
+    def _progress(self, stage: str, done: int) -> None:
+        if self.progress_sink is not None:
+            self.progress_sink(stage, done, len(self.primary))
+
+    def _expect_in_secondary(self, key: Key) -> bool:
+        """Whether ``key``'s presence in the primary implies presence in
+        the secondary (already backfilled, or backfill finished)."""
+        return self.phase in (VERIFY, READY) or key < self._cursor
+
+    # -- the pump: interleaved backfill / verify / cutover ---------------------
+
+    def pump(self) -> int:
+        """Advance the migration by one chunk; returns keys processed.
+
+        Called automatically (``pump_per_op`` times) after every client
+        operation, so migration progress interleaves with live traffic
+        instead of stopping the world."""
+        if self.phase == BACKFILL:
+            return self._backfill_chunk()
+        if self.phase == VERIFY:
+            return self._verify_chunk()
+        if self.phase == READY and self.auto_cutover:
+            self.cutover()
+        return 0
+
+    def _pump(self) -> None:
+        for _ in range(self.pump_per_op):
+            if not self.migrating or self.phase == FAILED:
+                return
+            self.pump()
+
+    def _backfill_chunk(self) -> int:
+        secondary = self.secondary
+        assert secondary is not None
+        with self._borrowed_meter():
+            rows = self.primary.range_scan(self._cursor, self.chunk)
+        for key, value in rows:
+            if key in self._shadow_written or not secondary.insert(key, value):
+                # Already present (dual-written while the cursor was
+                # behind it): fine, but the values must agree.
+                self.backfill_duplicates += 1
+                got = secondary.lookup(key)
+                if got != value:
+                    self._diverge("backfill", "insert", key, value, got)
+                    return 0
+        self.backfill_keys += len(rows)
+        self.backfill_chunks += 1
+        self._invalidate_batch_cache()
+        if len(rows) < self.chunk:
+            self.phase = VERIFY
+            self._vcursor = 0
+            self._shadow_written.clear()  # the dirty set takes over
+        else:
+            self._cursor = rows[-1][0] + 1
+        self._progress("backfill", self.backfill_keys)
+        return len(rows)
+
+    def _verify_chunk(self) -> int:
+        secondary = self.secondary
+        assert secondary is not None
+        with self._borrowed_meter():
+            rows = self.primary.range_scan(self._vcursor, self.chunk)
+        for key, value in rows:
+            got = secondary.lookup(key)
+            self.verify_keys += 1
+            if got != value:
+                self._diverge("verify", "lookup", key, value, got)
+                return 0
+        self._progress("verify", self.verify_keys)
+        if len(rows) < self.chunk:
+            return self._finish_verification(len(rows))
+        self._vcursor = rows[-1][0] + 1
+        return len(rows)
+
+    def _finish_verification(self, scanned: int) -> int:
+        """Sweep done: re-check churned keys, then cardinality, then
+        declare ready (and cut over if configured)."""
+        secondary = self.secondary
+        assert secondary is not None
+        for key in sorted(self._dirty):
+            with self._borrowed_meter():
+                expected = self.primary.lookup(key)
+            got = secondary.lookup(key)
+            self.reverify_keys += 1
+            if got != expected:
+                self._diverge("verify", "reverify", key, expected, got)
+                return 0
+        self._dirty.clear()
+        if len(secondary) != len(self.primary):
+            self._diverge("size", "verify", 0,
+                          len(self.primary), len(secondary))
+            return 0
+        self.phase = READY
+        self._progress("ready", self.verify_keys)
+        if self.auto_cutover:
+            self.cutover()
+        return scanned
+
+    def cutover(self) -> None:
+        """Atomically promote the verified secondary to primary.
+
+        Runs between two client operations (the pump sits after the
+        op's primary work), so no client op is ever deferred: the swap
+        rebinds the primary reference, the client-visible meter, and
+        the capability flags in one step."""
+        if self.phase != READY:
+            raise RuntimeError(
+                f"cutover requires a fully verified secondary "
+                f"(phase={self.phase!r})")
+        secondary = self.secondary
+        assert secondary is not None
+        # Keys written while READY (cutover pending) get one last
+        # comparison, so the verified-before-swap guarantee covers
+        # every key no matter how late the churn arrived.
+        for key in sorted(self._dirty):
+            with self._borrowed_meter():
+                expected = self.primary.lookup(key)
+            got = secondary.lookup(key)
+            self.reverify_keys += 1
+            if got != expected:
+                self._diverge("verify", "reverify", key, expected, got)
+                return
+        self._dirty.clear()
+        self.retired = self.primary
+        self.primary = secondary
+        self.secondary = None
+        self.meter = self.primary.meter
+        self.supports_delete = self.primary.supports_delete
+        self.supports_range = self.primary.supports_range
+        self.phase = DONE
+        self.cutover_seq = self._seq
+        self._invalidate_batch_cache()
+
+    def abort(self) -> None:
+        """Drop the secondary; the primary keeps serving unchanged."""
+        if self.phase in (DONE, DETACHED):
+            raise RuntimeError(f"nothing to abort (phase={self.phase!r})")
+        self.retired = self.secondary
+        self.secondary = None
+        self.phase = DETACHED
+        self._invalidate_batch_cache()
+
+    # -- OrderedIndex: reads ---------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        """Load the *primary*; the backfill pump will copy to the
+        secondary like any other pre-existing data."""
+        self.primary.bulk_load(items)
+        self._invalidate_batch_cache()
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        prev = self.primary.last_op
+        value = self.primary.lookup(key)
+        self._mirror(prev)
+        self._seq += 1
+        self._pump()
+        return value
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        prev = self.primary.last_op
+        rows = self.primary.range_scan(start, count)
+        self._mirror(prev)
+        self._seq += 1
+        self._pump()
+        return rows
+
+    # -- OrderedIndex: dual writes ---------------------------------------------
+
+    def insert(self, key: Key, value: Value) -> bool:
+        prev = self.primary.last_op
+        okp = self.primary.insert(key, value)
+        self._mirror(prev)
+        self._seq += 1
+        secondary = self.secondary
+        if okp and secondary is not None and self.phase != FAILED:
+            # A fresh primary insert means the key was absent, so the
+            # backfill cursor can never have copied it: the secondary
+            # insert must succeed unconditionally.
+            self.dual_writes += 1
+            if not secondary.insert(key, value):
+                self._diverge("write", "insert", key, True, False)
+            elif self.phase == BACKFILL:
+                self._shadow_written.add(key)
+            elif self.phase in (VERIFY, READY):
+                self._dirty.add(key)
+        self._pump()
+        return okp
+
+    def update(self, key: Key, value: Value) -> bool:
+        prev = self.primary.last_op
+        okp = self.primary.update(key, value)
+        self._mirror(prev)
+        self._seq += 1
+        secondary = self.secondary
+        if okp and secondary is not None and self.phase != FAILED:
+            self.dual_writes += 1
+            oks = secondary.update(key, value)
+            if not oks and self._expect_in_secondary(key):
+                self._diverge("write", "update", key, True, False)
+            elif oks and self.phase == BACKFILL:
+                self._shadow_written.add(key)
+            elif oks and self.phase in (VERIFY, READY):
+                self._dirty.add(key)
+            # Not yet backfilled and not written: the cursor will copy
+            # the new value.
+        self._pump()
+        return okp
+
+    def delete(self, key: Key) -> bool:
+        prev = self.primary.last_op
+        okp = self.primary.delete(key)
+        self._mirror(prev)
+        self._seq += 1
+        secondary = self.secondary
+        if okp and secondary is not None and self.phase != FAILED:
+            self.dual_writes += 1
+            oks = secondary.delete(key)
+            if not oks and self._expect_in_secondary(key):
+                self._diverge("write", "delete", key, True, False)
+            elif self.phase == BACKFILL:
+                self._shadow_written.discard(key)
+            elif self.phase in (VERIFY, READY):
+                # Both sides must now agree the key is gone.
+                self._dirty.add(key)
+        self._pump()
+        return okp
+
+    # -- batch paths -----------------------------------------------------------
+
+    def _lookup_batch(self, keys: Sequence[Key]) -> Optional[Any]:
+        """Delegate the vectorized fast path to the live primary.
+
+        The binding is cached in ``_batch_cache`` and dropped by
+        ``_invalidate_batch_cache`` — which every pump chunk, cutover,
+        and abort calls — so a batch can never be served by an index
+        that was swapped out mid-stream (see ``scan_many`` in the base
+        class for the wrapper-mutation guard)."""
+        if self._batch_cache is None:
+            self._batch_cache = self.primary
+        return self._batch_cache._lookup_batch(keys)
+
+    def _invalidate_batch_cache(self) -> None:
+        super()._invalidate_batch_cache()
+        # Cascade to both sides: their own caches key vectorized tables
+        # off structures the pump may just have mutated.
+        self.primary._invalidate_batch_cache()
+        if self.secondary is not None:
+            self.secondary._invalidate_batch_cache()
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.primary)
+
+    def memory_usage(self) -> MemoryBreakdown:
+        """Honest accounting: while both sides are attached, migration
+        really does hold two indexes in memory."""
+        mem = self.primary.memory_usage()
+        if self.secondary is not None:
+            other = self.secondary.memory_usage()
+            return MemoryBreakdown(
+                inner=mem.inner + other.inner,
+                leaf=mem.leaf + other.leaf,
+                metadata=mem.metadata + other.metadata,
+            )
+        return mem
+
+    def debug_validate(self) -> List[Any]:
+        out = list(self.primary.debug_validate())
+        if self.secondary is not None:
+            out.extend(self.secondary.debug_validate())
+        return out
+
+    def status(self) -> dict:
+        """Migration-progress snapshot (feeds instance telemetry)."""
+        return {
+            "phase": self.phase,
+            "primary": self.primary.name,
+            "secondary": self.secondary.name if self.secondary else None,
+            "cursor": self._cursor,
+            "backfill_keys": self.backfill_keys,
+            "backfill_chunks": self.backfill_chunks,
+            "backfill_duplicates": self.backfill_duplicates,
+            "verify_keys": self.verify_keys,
+            "reverify_keys": self.reverify_keys,
+            "dirty": len(self._dirty),
+            "dual_writes": self.dual_writes,
+            "divergences": len(self.divergences),
+            "cutover_seq": self.cutover_seq,
+            "cutover_stall_ops": self.cutover_stall_ops,
+        }

@@ -65,7 +65,7 @@ class RMI(OrderedIndex):
     # -- build --------------------------------------------------------------
 
     def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
-        self._batch_cache = None
+        self._invalidate_batch_cache()
         self.check_sorted(items)
         self._keys = [k for k, _ in items]
         self._values = [v for _, v in items]

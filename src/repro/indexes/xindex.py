@@ -111,7 +111,7 @@ class XIndex(OrderedIndex):
 
     def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
         self.check_sorted(items)
-        self._batch_cache = None
+        self._invalidate_batch_cache()
         self._groups = []
         for start in range(0, len(items), self.target_group_keys):
             chunk = items[start : start + self.target_group_keys]
@@ -333,7 +333,7 @@ class XIndex(OrderedIndex):
                                         path=[g.node_id], nodes_traversed=2)
                 return False
         shifted = len(g.delta_keys) - j
-        self._batch_cache = None
+        self._invalidate_batch_cache()
         with self.meter.phase(PHASE_COLLISION):
             g.delta_keys.insert(j, key)
             g.delta_values.insert(j, value)

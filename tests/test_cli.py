@@ -282,3 +282,53 @@ def test_fuzz_command_replay_single_file(tmp_path, capsys):
     code, out = _run(capsys, "fuzz", "--replay", path)
     assert code == 0
     assert "replayed 1 stream(s)" in out
+
+
+def test_fuzz_command_replay_missing_path_is_a_clear_error():
+    with pytest.raises(SystemExit, match="does not exist"):
+        main(["fuzz", "--replay", "/no/such/stream.jsonl"])
+
+
+def test_migrate_command_smoke(capsys):
+    code, out = _run(capsys, "migrate", "btree", "alex", "--dataset", "covid",
+                     "--n", "800", "--ops", "600", "--workload", "churn",
+                     "--min-verified", "1.0")
+    assert code == 0
+    assert "migrated after op" in out
+    assert "0 rejected, 0 stalled" in out
+
+
+def test_migrate_command_json_and_bench(tmp_path, capsys):
+    import json
+
+    bench = str(tmp_path / "BENCH_migration.json")
+    code, out = _run(capsys, "migrate", "btree", "alex", "--dataset", "covid",
+                     "--n", "600", "--ops", "400", "--workload", "churn:0.3",
+                     "--json", "--bench", bench)
+    assert code == 0
+    with open(bench) as f:
+        d = json.load(f)
+    assert d["ok"] is True and d["completed"] is True
+    assert d["src"] == "B+tree" and d["dst"] == "ALEX"
+    assert d["rejected_ops"] == 0 and d["cutover_stall_ops"] == 0
+    assert d["verified_fraction"] == 1.0
+    assert d["backfill_keys_per_vsec"] > 0
+    assert json.loads(out[out.index("{"):])["ok"] is True
+
+
+def test_migrate_command_rejects_unknown_and_same_index():
+    with pytest.raises(SystemExit, match="unknown index"):
+        main(["migrate", "splay", "alex", "--n", "100"])
+    with pytest.raises(SystemExit, match="both"):
+        main(["migrate", "btree", "B+tree", "--n", "100"])
+
+
+def test_migrate_command_refuses_non_migratable_destination():
+    with pytest.raises(SystemExit, match="cannot be a migration"):
+        main(["migrate", "btree", "rmi", "--n", "100"])
+
+
+def test_list_command_shows_migrate_capability(capsys):
+    code, out = _run(capsys, "list")
+    assert code == 0
+    assert "migrate" in out

@@ -1,0 +1,387 @@
+"""Zero-downtime live migration: the multiplexer and the controller.
+
+Unit tests drive :class:`MultiplexIndex` pump-by-pump; integration
+tests run :func:`run_migration` end to end, including the edge cases
+from the issue: cutover racing a concurrent SMO, a lying secondary
+(divergence -> abort -> shrunk repro), abort-and-rollback leaving the
+primary serving, and empty-index / duplicate-key backfill.
+"""
+
+import random
+
+import pytest
+
+from repro.core.instance import RETIRED, SERVING
+from repro.core.migrate import resolve_index_name, run_migration
+from repro.core.workloads import (
+    INSERT,
+    LOOKUP,
+    Operation,
+    Workload,
+    churn_workload,
+    mixed_workload,
+    payload,
+)
+from repro.indexes.alex import ALEX
+from repro.indexes.btree import BPlusTree
+from repro.indexes.finedex import FINEdex
+from repro.indexes.multiplex import (
+    BACKFILL,
+    DETACHED,
+    DONE,
+    FAILED,
+    READY,
+    VERIFY,
+    MultiplexIndex,
+)
+
+KEYS = sorted(random.Random(7).sample(range(1, 50_000_000), 2000))
+ITEMS = [(k, payload(k)) for k in KEYS]
+
+
+def _mux(n=300, chunk=50, **kw):
+    p, s = BPlusTree(), BPlusTree()
+    p.bulk_load(ITEMS[:n])
+    return MultiplexIndex(p, s, chunk=chunk, **kw), p, s
+
+
+def _pump_until(mux, phase, limit=10_000):
+    for _ in range(limit):
+        if mux.phase == phase:
+            return
+        mux.pump()
+    raise AssertionError(f"never reached {phase}; stuck at {mux.phase}")
+
+
+# -- multiplexer unit tests ----------------------------------------------------
+
+def test_pump_walks_backfill_verify_ready_done():
+    mux, p, s = _mux(n=300, chunk=50)
+    assert mux.phase == BACKFILL
+    _pump_until(mux, VERIFY)
+    assert mux.backfill_keys == 300
+    assert mux.backfill_chunks == 7  # six full chunks + the short tail
+    assert len(s) == 300
+    _pump_until(mux, READY)
+    assert mux.verify_keys == 300
+    mux.cutover()
+    assert mux.phase == DONE
+    assert mux.primary is s and mux.secondary is None
+    assert mux.lookup(KEYS[0]) == payload(KEYS[0])
+
+
+def test_cutover_requires_verified_secondary():
+    mux, _, _ = _mux()
+    with pytest.raises(RuntimeError, match="fully verified"):
+        mux.cutover()
+
+
+def test_reads_cost_exactly_the_bare_primary():
+    """The zero-downtime core: client lookups charge the primary meter
+    exactly as if no migration were running; all pump work lands on the
+    secondary's meter."""
+    mux, p, s = _mux(n=200, chunk=20)
+    bare = BPlusTree()
+    bare.bulk_load(ITEMS[:200])
+    for k in KEYS[:100]:
+        assert mux.lookup(k) == bare.lookup(k)
+    assert p.meter.total_time() == bare.meter.total_time()
+    assert s.meter.total_time() > 0  # backfill really was charged somewhere
+
+
+def test_dual_written_insert_survives_cutover():
+    mux, _, s = _mux(n=100, chunk=30, auto_cutover=True)
+    new = max(KEYS) + 17
+    assert mux.insert(new, payload(new))
+    _pump_until(mux, DONE)
+    assert mux.primary is s
+    assert mux.lookup(new) == payload(new)
+    assert mux.lookup(KEYS[0]) == payload(KEYS[0])
+
+
+def test_duplicate_key_backfill_compares_instead_of_copying():
+    mux, _, _ = _mux(n=400, chunk=50)
+    mux.pump()  # cursor now past the first chunk
+    ahead = max(KEYS) + 5  # dual-written, then reached by the cursor
+    assert mux.insert(ahead, payload(ahead))
+    _pump_until(mux, READY)
+    assert mux.backfill_duplicates >= 1
+    assert not mux.divergences
+    mux.cutover()
+    assert mux.lookup(ahead) == payload(ahead)
+
+
+def test_backfill_divergence_on_conflicting_secondary_value():
+    mux, _, s = _mux(n=100, chunk=30)
+    s.insert(KEYS[3], payload(KEYS[3]) ^ 1)  # poisoned before the pump
+    _pump_until(mux, FAILED)
+    assert mux.divergences[0].stage == "backfill"
+    assert mux.divergences[0].key == KEYS[3]
+
+
+def test_size_divergence_on_rogue_secondary_key():
+    mux, _, s = _mux(n=100, chunk=40)
+    rogue = max(KEYS) + 99  # never in the primary, so only the
+    s.insert(rogue, 1)      # cardinality check can catch it
+    _pump_until(mux, FAILED)
+    assert mux.divergences[0].stage == "size"
+
+
+def test_lying_update_in_ready_window_diverges():
+    class DeafUpdateBTree(BPlusTree):
+        def update(self, key, value):
+            super().update(key, value)
+            return False  # claims the key is missing
+
+    p = BPlusTree()
+    p.bulk_load(ITEMS[:100])
+    mux = MultiplexIndex(p, DeafUpdateBTree(), chunk=50)
+    _pump_until(mux, READY)
+    mux.update(KEYS[0], 123)
+    assert mux.phase == FAILED
+    assert mux.divergences[0].stage == "write"
+
+
+def test_dirty_keys_reverified_at_cutover():
+    mux, _, s = _mux(n=200, chunk=50)
+    _pump_until(mux, READY)
+    mux.update(KEYS[5], 4242)  # churn lands in the READY window
+    mux.cutover()
+    assert mux.phase == DONE
+    assert mux.reverify_keys >= 1
+    assert mux.lookup(KEYS[5]) == 4242
+
+
+def test_abort_detaches_secondary_and_primary_keeps_serving():
+    mux, p, s = _mux(n=100, chunk=30)
+    s.insert(KEYS[0], 999)  # force divergence
+    _pump_until(mux, FAILED)
+    mux.abort()
+    assert mux.phase == DETACHED
+    assert mux.secondary is None and mux.retired is s
+    new = max(KEYS) + 3
+    assert mux.insert(new, payload(new))  # single-sided, no crash
+    assert mux.lookup(new) == payload(new)
+    assert mux.lookup(KEYS[0]) == payload(KEYS[0])
+    assert len(p) == 101
+
+
+def test_memory_usage_sums_both_sides_while_attached():
+    mux, p, s = _mux(n=200, chunk=50, auto_cutover=True)
+    _pump_until(mux, VERIFY)
+    both = mux.memory_usage().total
+    assert both == p.memory_usage().total + s.memory_usage().total
+    _pump_until(mux, DONE)
+    assert mux.memory_usage().total == s.memory_usage().total
+
+
+def test_status_snapshot_tracks_the_pump():
+    mux, _, _ = _mux(n=120, chunk=40, auto_cutover=True)
+    assert mux.status()["phase"] == BACKFILL
+    _pump_until(mux, DONE)
+    st = mux.status()
+    assert st["phase"] == DONE
+    assert st["backfill_keys"] == 120
+    assert st["verify_keys"] == 120
+    assert st["secondary"] is None
+
+
+def test_primary_without_range_scan_is_rejected():
+    class NoRange(BPlusTree):
+        supports_range = False
+
+    with pytest.raises(ValueError, match="range_scan"):
+        MultiplexIndex(NoRange(), BPlusTree())
+
+
+# -- the scan_many stale-batch-cache regression (satellite) --------------------
+
+def test_scan_many_gen_guard_drops_cache_bound_mid_batch():
+    """A wrapper that mutates from inside ``range_scan`` (the mux pump
+    does exactly this) can leave batch state bound mid-batch; the
+    generation guard in ``scan_many`` must drop it at batch end."""
+
+    class MutatingScanBTree(BPlusTree):
+        def range_scan(self, start, count):
+            rows = super().range_scan(start, count)
+            self._mutation_gen += 1          # a mutation happened...
+            self._batch_cache = object()     # ...with batch state bound
+            return rows
+
+    idx = MutatingScanBTree()
+    idx.bulk_load(ITEMS[:50])
+    idx.scan_many([KEYS[0], KEYS[10]], 5)
+    assert idx._batch_cache is None  # stale binding was dropped
+
+
+def test_batch_binding_cannot_survive_a_mid_batch_cutover():
+    """Warm the vectorized-lookup binding, then drive scan_many until
+    the pump cuts over mid-batch: the next lookup_many must be served
+    by the *new* primary, never the retired one."""
+    p, s = FINEdex(), BPlusTree()
+    p.bulk_load(ITEMS[:400])
+    mux = MultiplexIndex(p, s, chunk=64, auto_cutover=True)
+    warm = mux.lookup_many(KEYS[:32])  # binds _batch_cache to FINEdex
+    assert warm == [payload(k) for k in KEYS[:32]]
+    mux.scan_many([KEYS[0]] * 30, 4)  # each scan pumps one chunk
+    assert mux.phase == DONE
+    assert mux.primary is s
+    assert mux._batch_cache is not p  # the old binding is gone
+    new = max(KEYS) + 1
+    mux.insert(new, payload(new))  # lands only in the new primary
+    got = mux.lookup_many([new] + KEYS[:31])
+    assert got[0] == payload(new)
+    assert got[1:] == [payload(k) for k in KEYS[:31]]
+
+
+# -- controller integration ----------------------------------------------------
+
+def test_resolve_index_name_tolerates_loose_spellings():
+    assert resolve_index_name("btree") == "B+tree"
+    assert resolve_index_name("B+tree") == "B+tree"
+    assert resolve_index_name("alex") == "ALEX"
+    assert resolve_index_name("fitingtree") == "FITing-Tree"
+    with pytest.raises(KeyError, match="unknown index"):
+        resolve_index_name("splay")
+
+
+def test_rmi_is_not_migratable():
+    wl = churn_workload(KEYS[:100], n_ops=50, seed=1)
+    with pytest.raises(ValueError, match="cannot be a migration"):
+        run_migration("btree", "rmi", wl)
+
+
+def test_happy_path_btree_to_alex_zero_downtime():
+    wl = churn_workload(KEYS[:1200], write_frac=0.5, n_ops=900, seed=3)
+    report = run_migration("btree", "alex", wl, chunk=64)
+    assert report.completed and not report.aborted
+    assert report.ok
+    assert report.zero_downtime
+    assert report.rejected_ops == 0 and report.cutover_stall_ops == 0
+    assert report.verified_fraction == 1.0
+    assert report.oracle_mismatches == []
+    assert report.divergences == []
+    assert report.cutover_seq is not None
+    assert report.src_state == RETIRED and report.dst_state == SERVING
+    assert report.reads > 0 and report.writes > 0
+    assert report.overhead_ns > 0  # migration work was metered, not free
+    assert report.backfill_keys_per_vsec > 0
+    d = report.to_dict()
+    assert d["ok"] is True and d["cutover_seq"] == report.cutover_seq
+    assert "migrated after op" in report.describe()
+
+
+def test_cutover_races_concurrent_smos():
+    """Small nodes on both sides so structural modifications fire
+    throughout backfill, verification, and right at the cutover
+    boundary; the oracle proves client semantics never wobbled."""
+    wl = mixed_workload(KEYS[:800], 0.8, n_ops=1000, seed=11)
+    report = run_migration(
+        "btree", "alex", wl, chunk=32,
+        src_factory=lambda: BPlusTree(fanout=8),
+        dst_factory=lambda: ALEX(target_leaf_keys=64, max_data_keys=256),
+    )
+    assert report.ok, report.describe()
+    assert report.dual_writes > 0  # writes really did race the pump
+    assert report.oracle_mismatches == []
+
+
+def test_blind_insert_lsm_destination_backfills_cleanly():
+    """PGM appends blindly on insert (returns True for keys it already
+    holds), so the backfill cursor must value-compare dual-written keys
+    via the shadow-written set instead of insert-returned-False — or
+    the duplicate copies inflate the LSM's size past the primary's."""
+    wl = churn_workload(KEYS[:1000], write_frac=0.6, n_ops=800, seed=13)
+    report = run_migration("btree", "pgm", wl, chunk=64)
+    assert report.ok, report.describe()
+    assert report.divergences == []
+    assert report.verified_fraction == 1.0
+
+
+def test_short_stream_drains_pump_and_still_cuts_over():
+    wl = churn_workload(KEYS[:1500], n_ops=5, seed=5)  # traffic ends early
+    report = run_migration("btree", "alex", wl, chunk=64)
+    assert report.completed
+    assert report.cutover_seq == len(wl.operations)
+    assert report.verified_fraction == 1.0
+
+
+def test_empty_index_migration_completes():
+    ops = [Operation(INSERT, k, payload(k)) for k in KEYS[:20]]
+    ops += [Operation(LOOKUP, k) for k in KEYS[:20]]
+    wl = Workload("empty-start", [], ops, write_fraction=0.5)
+    report = run_migration("btree", "alex", wl)
+    assert report.completed and report.ok
+    assert report.backfill_keys == 0 or report.backfill_keys <= 20
+    assert report.oracle_mismatches == []
+
+
+def test_lying_secondary_aborts_rolls_back_and_shrinks_a_repro():
+    class LyingLookupBTree(BPlusTree):
+        """Returns corrupted payloads — caught by the verify sweep."""
+
+        def lookup(self, key):
+            value = super().lookup(key)
+            return value ^ 1 if isinstance(value, int) else value
+
+    wl = churn_workload(KEYS[:600], write_frac=0.3, n_ops=800, seed=9)
+    report = run_migration(
+        "btree", "btree", wl, chunk=32,
+        dst_factory=lambda: LyingLookupBTree(fanout=8),
+    )
+    assert report.aborted and not report.completed
+    assert not report.ok
+    assert report.divergence_count >= 1
+    # Caught at the first value comparison that touches the liar: the
+    # backfill duplicate check or the verify sweep, whichever is first.
+    assert report.divergences[0].startswith(("[backfill]", "[verify]"))
+    # Rollback proof: the source served the rest of the stream...
+    assert report.src_state == SERVING and report.dst_state == RETIRED
+    assert report.post_abort_ops > 0
+    # ...and the client stream never saw a wrong answer.
+    assert report.oracle_mismatches == []
+    assert report.rejected_ops == 0
+    # The applied prefix replayed on a fresh lying destination and
+    # ddmin shrank it to a minimal repro.
+    assert report.repro is not None
+    assert 1 <= len(report.repro.ops) <= 5
+    assert "ABORTED" in report.describe()
+
+
+def test_aborted_run_reports_partial_verification():
+    class LyingLookupBTree(BPlusTree):
+        def lookup(self, key):
+            value = super().lookup(key)
+            return value ^ 1 if isinstance(value, int) else value
+
+    wl = churn_workload(KEYS[:600], write_frac=0.3, n_ops=400, seed=2)
+    report = run_migration("btree", "btree", wl, chunk=32, shrink=False,
+                           dst_factory=LyingLookupBTree)
+    assert report.aborted
+    assert report.repro is None  # shrink=False skips the replay
+    assert 0.0 <= report.verified_fraction < 1.0
+
+
+# -- churn workload (the migration driver) -------------------------------------
+
+def test_churn_workload_is_deterministic():
+    a = churn_workload(KEYS[:500], write_frac=0.4, n_ops=300, seed=6)
+    b = churn_workload(KEYS[:500], write_frac=0.4, n_ops=300, seed=6)
+    assert a.operations == b.operations
+    assert a.bulk_items == b.bulk_items
+    c = churn_workload(KEYS[:500], write_frac=0.4, n_ops=300, seed=7)
+    assert c.operations != a.operations
+
+
+def test_churn_workload_shape():
+    wl = churn_workload(KEYS[:400], write_frac=0.5, n_ops=200, seed=0)
+    kinds = {op.op for op in wl.operations}
+    assert kinds == {LOOKUP, INSERT}
+    n_ins = sum(1 for op in wl.operations if op.op == INSERT)
+    assert 0 < n_ins < wl.n_ops
+    loaded = {k for k, _ in wl.bulk_items}
+    for op in wl.operations:
+        if op.op == INSERT:
+            assert op.key not in loaded
+    with pytest.raises(ValueError):
+        churn_workload(KEYS[:10], write_frac=1.5)

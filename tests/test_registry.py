@@ -32,6 +32,7 @@ def _concrete_index_classes():
                 issubclass(obj, OrderedIndex)
                 and obj is not OrderedIndex
                 and not inspect.isabstract(obj)
+                and not obj.is_adapter  # wrappers compose registered indexes
                 and obj.__module__ == module.__name__
             ):
                 classes.add(obj)
