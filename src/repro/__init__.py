@@ -16,7 +16,9 @@ Public API highlights::
     print(result.throughput_mops, result.memory.total)
 """
 
+from repro.core.bench_history import append_history, check_history
 from repro.core.cost import CostMeter
+from repro.core.events import EventBus
 from repro.core.hardness import (
     global_hardness,
     local_hardness,
@@ -34,6 +36,7 @@ from repro.core.opstream import (
     run_oracle,
 )
 from repro.core.registry import REGISTRY, IndexRegistry, IndexSpec
+from repro.core.slo import ControlTower, SLOTarget, SLOTracker
 from repro.core.runner import (
     ExecutionEngine,
     ExecutionObserver,
@@ -83,10 +86,12 @@ TRADITIONAL_INDEXES = REGISTRY.factories(tag="core", learned=False)
 __all__ = [
     "ALEX", "ART", "BPlusTree", "FINEdex", "FITingTree", "HOT", "LIPP",
     "Masstree", "PGMIndex", "RMI", "Wormhole", "XIndex",
-    "CostMeter", "CostProfiler", "DifferentialObserver", "ExecutionEngine",
+    "ControlTower", "CostMeter", "CostProfiler", "DifferentialObserver",
+    "EventBus", "ExecutionEngine",
     "ExecutionObserver", "Heatmap", "IndexInstance", "IndexRegistry",
     "IndexSpec", "MemoryBreakdown", "MetricsCollector", "MetricsRegistry",
     "MigrationReport", "MultiplexIndex", "OpEvent",
+    "SLOTarget", "SLOTracker", "append_history", "check_history",
     "OpStream", "OracleReport", "OrderedIndex", "REGISTRY", "RunResult",
     "Telemetry", "TraceRecorder", "ValidationObserver", "Violation",
     "Workload", "churn_workload", "compute_heatmap", "debug_validate",

@@ -94,6 +94,8 @@ def cmd_bench(args) -> int:
     import random as _random
     import time as _time
 
+    from repro.core.bench_history import provenance
+    from repro.core.runner import LatencyStats
     from repro.core.workloads import payload
     from repro.indexes import batching
     from repro.indexes.linear_model import LinearModel
@@ -131,6 +133,19 @@ def cmd_bench(args) -> int:
             raise SystemExit(f"{name}: batch/scalar value mismatch")
         if list(a.meter._counts.items()) != list(b.meter._counts.items()):
             raise SystemExit(f"{name}: batch/scalar cost divergence")
+        # Virtual-clock lookup profile: deterministic across machines,
+        # so the regression gate can judge it against a committed
+        # baseline (wall-clock numbers above are recorded, not gated).
+        samples = []
+        v0 = a.meter.total_time()
+        for k in qs:
+            before = a.meter.total_time()
+            a.lookup(k)
+            samples.append(a.meter.total_time() - before)
+        virtual_ns = a.meter.total_time() - v0
+        vstats = LatencyStats.from_samples(samples)
+        virtual_mops = (len(qs) / (virtual_ns / 1e9) / 1e6
+                        if virtual_ns > 0 else 0.0)
         speedup = t_scalar / t_batch if t_batch > 0 else float("inf")
         results.append({
             "index": name,
@@ -138,10 +153,13 @@ def cmd_bench(args) -> int:
             "scalar_ops_per_s": len(qs) / t_scalar,
             "batch_ops_per_s": len(qs) / t_batch,
             "speedup": speedup,
+            "virtual_lookup_mops": virtual_mops,
+            "virtual_lookup_p99_ns": vstats.p99,
         })
         print(f"{name:12s} scalar {len(qs) / t_scalar:>10.0f} op/s   "
               f"batch {len(qs) / t_batch:>10.0f} op/s   "
-              f"{speedup:5.1f}x{'' if vectorized else '  (loop fallback)'}")
+              f"{speedup:5.1f}x{'' if vectorized else '  (loop fallback)'}   "
+              f"[virtual {virtual_mops:.2f} Mops, p99 {vstats.p99:.0f} ns]")
 
     # predict_clamped hoisting note: per-call method vs the predictor()
     # closure that hoists the attribute loads and the clamp bound.
@@ -178,6 +196,7 @@ def cmd_bench(args) -> int:
         "results": results,
         "predict_clamped": predict_note,
     }
+    doc.update(provenance())
     if args.out:
         with open(args.out, "w") as f:
             json.dump(doc, f, indent=2)
@@ -190,6 +209,35 @@ def cmd_bench(args) -> int:
                 print(f"FAIL {r['index']}: {r['speedup']:.2f}x < "
                       f"{args.min_speedup}x", file=sys.stderr)
             return 1
+    if args.history:
+        from repro.core.bench_history import append_history, check_history
+
+        context = {"dataset": args.dataset, "n": args.n,
+                   "lookups": args.lookups, "seed": args.seed,
+                   "indexes": sorted(names)}
+        metrics = {}
+        info = {}
+        for r in results:
+            metrics[f"virtual_lookup_mops.{r['index']}"] = r["virtual_lookup_mops"]
+            metrics[f"virtual_lookup_p99_ns.{r['index']}"] = r["virtual_lookup_p99_ns"]
+            info[f"scalar_ops_per_s.{r['index']}"] = r["scalar_ops_per_s"]
+            info[f"batch_ops_per_s.{r['index']}"] = r["batch_ops_per_s"]
+            info[f"speedup.{r['index']}"] = r["speedup"]
+        if args.check:
+            regressions = check_history(args.history, "bench", metrics,
+                                        context=context,
+                                        tolerance=args.tolerance)
+            if regressions:
+                for reg in regressions:
+                    print(f"FAIL {reg}", file=sys.stderr)
+                print(f"bench --check: {len(regressions)} regression(s) vs "
+                      f"{args.history}", file=sys.stderr)
+                return 1
+            print(f"bench --check: no regressions vs {args.history} "
+                  f"(tolerance {args.tolerance:.0%})")
+        append_history(args.history, "bench", metrics, info=info,
+                       context=context)
+        print(f"history: appended to {args.history}")
     return 0
 
 
@@ -267,8 +315,23 @@ def cmd_run(args) -> int:
     keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
     wl = _workload(args, keys)
     telemetry = _telemetry_from_args(args)
-    r = execute(factory(), wl, telemetry=telemetry)
+    bus = slo = None
+    if getattr(args, "events", ""):
+        from repro.core.events import EventBus
+        from repro.core.instance import IndexInstance
+        from repro.core.slo import SLOTracker
+
+        bus = EventBus()
+        slo = SLOTracker(bus=bus, window_ops=getattr(args, "window", 256))
+        target = bus.attach_instance(IndexInstance.wrap(factory()))
+        r = execute(target, wl, telemetry=telemetry, bus=bus, observers=[slo])
+    else:
+        r = execute(factory(), wl, telemetry=telemetry)
     _save_telemetry(args, telemetry)
+    if bus is not None:
+        n = bus.save(args.events)
+        print(f"events: {args.events} ({n} events, "
+              f"{len(slo.alerts)} SLO alert(s))")
     if getattr(args, "out", None):
         from repro.core.results import save_jsonl
 
@@ -295,6 +358,60 @@ def cmd_run(args) -> int:
         rows.append(["nodes created/insert", f"{avg['nodes_created']:.2f}"])
     print(table(["Metric", "Value"], rows,
                 title=f"{args.index} on {args.dataset} / {wl.name}"))
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live control-tower view over the operational event stream."""
+    import json
+
+    from repro.core.events import KIND_OP_WINDOW, EventBus, validate_bus_events
+    from repro.core.instance import IndexInstance
+    from repro.core.results import load_jsonl
+    from repro.core.slo import ControlTower, SLOTracker
+
+    tower = ControlTower()
+    if args.events:
+        records = load_jsonl(args.events)
+        validate_bus_events(records)
+        for rec in records:
+            tower.consume(rec)
+    else:
+        bus = EventBus()
+        bus.subscribe(tower.consume)
+        live = sys.stdout.isatty() and not args.once and not args.json
+
+        def refresh(event: dict) -> None:
+            # ANSI home+clear keeps the table in place between windows.
+            sys.stdout.write("\x1b[H\x1b[2J" + tower.render() + "\n")
+            sys.stdout.flush()
+
+        if live:
+            bus.subscribe(refresh, kinds=[KIND_OP_WINDOW])
+        keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
+        wl = _workload(args, keys)
+        if args.migrate:
+            from repro.core.migrate import resolve_index_name, run_migration
+
+            try:
+                src = resolve_index_name(args.migrate[0])
+                dst = resolve_index_name(args.migrate[1])
+            except KeyError as exc:
+                raise SystemExit(exc.args[0]) from None
+            run_migration(src, dst, wl, bus=bus, bus_window=args.window)
+        else:
+            factory = _ALL_INDEXES.get(args.index)
+            if factory is None:
+                raise SystemExit(
+                    f"unknown index {args.index!r}; use one of {sorted(_ALL_INDEXES)}")
+            slo = SLOTracker(bus=bus, window_ops=args.window)
+            target = bus.attach_instance(IndexInstance.wrap(factory()))
+            execute(target, wl, bus=bus, bus_window=args.window,
+                    observers=[slo])
+    if args.json:
+        print(json.dumps(tower.to_json(), indent=2))
+        return 0
+    print(tower.render())
     return 0
 
 
@@ -392,8 +509,47 @@ def cmd_sweep(args) -> int:
     if args.bench:
         import json
 
+        from repro.core.bench_history import provenance
+
+        doc = report.to_dict(include_cells=False)
+        doc.update(provenance())
         with open(args.bench, "w") as f:
-            json.dump(report.to_dict(include_cells=False), f, indent=2)
+            json.dump(doc, f, indent=2)
+    if args.history and report.cells:
+        from repro.core.bench_history import append_history, check_history
+
+        single = [c for c in report.cells
+                  if c.record.get("kind") != "multicore"]
+        mops = [c.throughput_mops for c in single]
+        p99s = [(c.record.get("lookup_latency") or {}).get("p99", 0.0)
+                for c in single]
+        metrics = {}
+        if mops:
+            metrics["mean_cell_mops"] = sum(mops) / len(mops)
+            metrics["min_cell_mops"] = min(mops)
+        judged = [p for p in p99s if p > 0]
+        if judged:
+            metrics["mean_lookup_p99_ns"] = sum(judged) / len(judged)
+        context = {"datasets": sorted(ds_names),
+                   "workloads": sorted(w.label for w in workloads),
+                   "indexes": sorted(index_names), "mode": args.mode,
+                   "n": args.n, "ops": args.ops, "seed": args.seed}
+        info = {"wall_seconds": report.wall_seconds,
+                "cells_per_sec": report.cells_per_sec,
+                "cache_hits": report.cache_hits,
+                "executed": report.executed}
+        if args.check:
+            regressions = check_history(args.history, "sweep", metrics,
+                                        context=context,
+                                        tolerance=args.tolerance)
+            if regressions:
+                for reg in regressions:
+                    print(f"FAIL {reg}", file=sys.stderr)
+                return 1
+            print(f"sweep --check: no regressions vs {args.history} "
+                  f"(tolerance {args.tolerance:.0%})")
+        append_history(args.history, "sweep", metrics, info=info,
+                       context=context)
     if args.json:
         import json
 
@@ -454,6 +610,7 @@ def cmd_memory(args) -> int:
 
 def cmd_diagnose(args) -> int:
     from repro.core.diagnostics import diagnose
+    from repro.core.slo import SLOTracker
     from repro.core.telemetry import CostProfiler, MetricsCollector, Telemetry
 
     factory = _ALL_INDEXES.get(args.index)
@@ -463,11 +620,13 @@ def cmd_diagnose(args) -> int:
     wl = _workload(args, keys)
     idx = factory()
     # Record the run so the report can cite behavioral findings (SMO
-    # storms, dominant cost phases), not just end-state structure.
+    # storms, dominant cost phases, fired SLO alerts), not just
+    # end-state structure.
     telemetry = Telemetry(metrics=MetricsCollector(), profiler=CostProfiler())
-    execute(idx, wl, telemetry=telemetry)
+    slo = SLOTracker()
+    execute(idx, wl, telemetry=telemetry, observers=[slo])
     sample = [k for k, _ in wl.bulk_items][:: max(1, len(wl.bulk_items) // 300)]
-    print(diagnose(idx, sample, telemetry=telemetry).render())
+    print(diagnose(idx, sample, telemetry=telemetry, slo=slo).render())
     return 0
 
 
@@ -559,11 +718,20 @@ def cmd_migrate(args) -> int:
         raise SystemExit(f"source and destination are both {src}")
     keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
     wl = _workload(args, keys)
+    bus = None
+    if getattr(args, "events", ""):
+        from repro.core.events import EventBus
+
+        bus = EventBus()
     try:
         report = run_migration(src, dst, wl, chunk=args.chunk,
-                               pump_per_op=args.pump, seed=args.seed)
+                               pump_per_op=args.pump, seed=args.seed,
+                               bus=bus)
     except ValueError as exc:  # capability refusal, not a crash
         raise SystemExit(str(exc)) from None
+    if bus is not None:
+        n = bus.save(args.events)
+        print(f"events: {args.events} ({n} events)")
     if report.repro is not None and args.repro_dir:
         import os
 
@@ -575,9 +743,37 @@ def cmd_migrate(args) -> int:
         report.repro.save(dest)
         report.repro_path = dest
     if args.bench:
+        from repro.core.bench_history import provenance
+
+        doc = report.to_dict()
+        doc.update(provenance())
         with open(args.bench, "w") as f:
-            json.dump(report.to_dict(), f, indent=2)
+            json.dump(doc, f, indent=2)
         print(f"wrote {args.bench}")
+    if args.history:
+        from repro.core.bench_history import append_history, check_history
+
+        metrics = {
+            "overhead_ns": report.overhead_ns,
+            "client_ns": report.client_ns,
+            "backfill_keys_per_vsec": report.backfill_keys_per_vsec,
+        }
+        context = {"src": src, "dst": dst, "dataset": args.dataset,
+                   "workload": args.workload, "n": args.n, "ops": args.ops,
+                   "chunk": args.chunk, "pump": args.pump, "seed": args.seed}
+        if args.check:
+            regressions = check_history(args.history, "migration", metrics,
+                                        context=context,
+                                        tolerance=args.tolerance)
+            if regressions:
+                for reg in regressions:
+                    print(f"FAIL {reg}", file=sys.stderr)
+                return 1
+            print(f"migrate --check: no regressions vs {args.history} "
+                  f"(tolerance {args.tolerance:.0%})")
+        append_history(args.history, "migration", metrics,
+                       info={"wall_seconds": report.wall_seconds},
+                       context=context)
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -613,6 +809,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
+    def _history_flags(sp):
+        sp.add_argument("--history", default="",
+                        help="append a fingerprinted bench-history record "
+                             "to this JSON-lines file (BENCH_history.jsonl)")
+        sp.add_argument("--check", action="store_true",
+                        help="fail when a gated virtual-clock metric "
+                             "regresses vs the recorded --history baseline")
+        sp.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative change before --check fails")
+
     def common(sp, dataset=True, workload=False):
         sp.add_argument("--n", type=int, default=8000, help="keys to generate")
         sp.add_argument("--ops", type=int, default=6000, help="operations to run")
@@ -646,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
                     dest="min_speedup",
                     help="fail if any vectorized index speeds up less "
                          "than this")
+    _history_flags(sp)
 
     sp = sub.add_parser("hardness", help="PLA hardness of a dataset")
     sp.add_argument("dataset")
@@ -671,6 +878,31 @@ def build_parser() -> argparse.ArgumentParser:
                          "time-series as versioned JSON-lines")
     sp.add_argument("--window", type=int, default=256,
                     help="ops per metrics window")
+    sp.add_argument("--events", default="",
+                    help="attach an event bus + SLO tracker and write "
+                         "the operational event log (state changes, op "
+                         "windows, SMOs, SLO windows, alerts) as "
+                         "versioned JSON-lines")
+    common(sp, workload=True)
+
+    sp = sub.add_parser(
+        "top",
+        help="control-tower status table over the operational event "
+             "stream: state, throughput, p99, backfill, alerts")
+    sp.add_argument("--events", default="",
+                    help="fold a saved event log (from run/migrate "
+                         "--events) instead of running live")
+    sp.add_argument("--index", default="ALEX",
+                    help=f"live mode: run one of {sorted(_ALL_INDEXES)}")
+    sp.add_argument("--migrate", nargs=2, metavar=("SRC", "DST"),
+                    help="live mode: watch a live migration instead of "
+                         "a single-index run")
+    sp.add_argument("--once", action="store_true",
+                    help="print the final table once (no live refresh)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable status (implies --once)")
+    sp.add_argument("--window", type=int, default=256,
+                    help="ops per bus/SLO window")
     common(sp, workload=True)
 
     sp = sub.add_parser("compare", help="all indexes on one workload")
@@ -727,6 +959,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--json", action="store_true",
                     help="machine-readable report (includes per-cell "
                          "determinism fingerprints)")
+    _history_flags(sp)
     common(sp, dataset=False)
 
     sp = sub.add_parser("scalability", help="simulated multicore curves")
@@ -792,6 +1025,11 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--repro-dir", default="", dest="repro_dir",
                     help="directory for the shrunk divergence repro "
                          "stream, if the migration aborts")
+    sp.add_argument("--events", default="",
+                    help="write the migration's operational event log "
+                         "(state changes, backfill chunks, cutover) as "
+                         "versioned JSON-lines")
+    _history_flags(sp)
     common(sp, workload=True)
 
     sp = sub.add_parser("compare-runs",
@@ -808,6 +1046,7 @@ _COMMANDS = {
     "datasets": cmd_datasets,
     "hardness": cmd_hardness,
     "run": cmd_run,
+    "top": cmd_top,
     "compare": cmd_compare,
     "heatmap": cmd_heatmap,
     "sweep": cmd_sweep,

@@ -70,6 +70,7 @@ def diagnose(
     index: OrderedIndex,
     sample_keys: Sequence[int] = (),
     telemetry=None,
+    slo=None,
 ) -> DiagnosticReport:
     """Inspect an index's structural health.
 
@@ -77,7 +78,11 @@ def diagnose(
     few hundred keys you expect to be present.  ``telemetry`` (optional)
     is a :class:`repro.core.telemetry.Telemetry` bundle that observed a
     run on this index — its SMO-storm windows and cost-phase breakdown
-    become behavioral findings alongside the structural ones.
+    become behavioral findings alongside the structural ones.  ``slo``
+    (optional) is a :class:`repro.core.slo.SLOTracker` that observed
+    the same run — every alert it fired (budget burn, SMO-storm
+    escalation) is cited as a finding, with per-op-kind error-budget
+    consumption in the metrics.
     """
     report = DiagnosticReport(index_name=index.name, n_keys=len(index))
     report.metrics.update(_sample_ops(index, sample_keys))
@@ -94,6 +99,8 @@ def diagnose(
     _generic_findings(report)
     if telemetry is not None:
         _telemetry_findings(report, telemetry)
+    if slo is not None:
+        _slo_findings(report, slo)
     return report
 
 
@@ -198,6 +205,25 @@ def _telemetry_findings(report: DiagnosticReport, telemetry) -> None:
                 f"hottest cost cell: {op}/{phase}/{kind} at {ns / total:.0%} "
                 "of measured virtual time"
             )
+
+
+def _slo_findings(report: DiagnosticReport, slo) -> None:
+    """Cite the alerts an SLO tracker fired during the recorded run."""
+    alerts = getattr(slo, "alerts", None) or []
+    report.metrics["slo_alerts"] = len(alerts)
+    for kind in sorted(getattr(slo, "targets", {})):
+        used = slo.budget_used(kind)
+        if used > 0:
+            report.metrics[f"error_budget_used.{kind}"] = used
+    critical = [a for a in alerts if a.severity == "critical"]
+    if critical:
+        report.findings.append(
+            f"{len(critical)} critical SLO alert(s) fired — tail latency "
+            "or SMO churn breached objectives during the run")
+    for alert in alerts[:5]:
+        report.findings.append(f"SLO alert {alert}")
+    if len(alerts) > 5:
+        report.findings.append(f"... and {len(alerts) - 5} more SLO alert(s)")
 
 
 def _generic_findings(report: DiagnosticReport) -> None:

@@ -115,6 +115,12 @@ class IndexInstance:
         self._progress: Optional[dict] = None
         #: Extra callbacks invoked with each recorded event dict.
         self.listeners: List[Callable[[dict], None]] = []
+        #: Optional live-status callable merged into :meth:`status`
+        #: under ``"migration"`` — the migration control plane points
+        #: this at ``MultiplexIndex.status`` so an in-flight snapshot
+        #: (backfill cursor, dirty-set size, dual writes) is one call
+        #: away from the instance.
+        self.status_probe: Optional[Callable[[], dict]] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -152,6 +158,8 @@ class IndexInstance:
         """Raise :class:`AdmissionError` (and count it) unless admitted."""
         if not self.admits(op_kind):
             self.rejected[op_kind] = self.rejected.get(op_kind, 0) + 1
+            self._emit({"event": "admission_reject", "op": op_kind,
+                        "state": self._state})
             raise AdmissionError(self, op_kind)
 
     def bulk_load(self, items: Any) -> None:
@@ -176,13 +184,59 @@ class IndexInstance:
                           "done": done, "total": total}
         self._emit(self._progress)
 
+    def attach_bus(self, bus: Any) -> "IndexInstance":
+        """Republish this instance's lifecycle events into an event bus.
+
+        ``bus`` is an :class:`~repro.core.events.EventBus`, duck-typed
+        (this module sits below the bus in the import order).  State
+        changes, backfill/verify progress and admission rejections
+        become ``state`` / ``backfill_chunk`` / ``admission_reject``
+        events stamped with the wrapped index's virtual clock.
+        """
+        def now() -> float:
+            meter = getattr(self.index, "meter", None)
+            return meter.total_time() if meter is not None else 0.0
+
+        def relay(event: dict) -> None:
+            kind = event.get("event")
+            if kind == "state":
+                bus.publish("state", source=self.name, t_ns=now(),
+                            from_state=event["from"], to=event["to"],
+                            reason=event.get("reason", ""))
+            elif kind == "progress":
+                total = event.get("total", 0)
+                bus.publish("backfill_chunk", source=self.name, t_ns=now(),
+                            stage=event.get("stage", ""),
+                            done=event.get("done", 0), total=total,
+                            fraction=(event.get("done", 0) / total
+                                      if total else 0.0))
+            elif kind == "admission_reject":
+                bus.publish("admission_reject", source=self.name, t_ns=now(),
+                            op=event.get("op", ""),
+                            state=event.get("state", self._state))
+
+        self.listeners.append(relay)
+        return self
+
     @property
     def ops_total(self) -> int:
         return sum(self.op_counts.values())
 
+    @property
+    def backfill_fraction(self) -> Optional[float]:
+        """Completed fraction of the last progress stage (None = idle)."""
+        if not self._progress or not self._progress.get("total"):
+            return None
+        return self._progress["done"] / self._progress["total"]
+
     def status(self) -> dict:
-        """Operational snapshot: state, size, traffic, SMO recency."""
-        return {
+        """Operational snapshot: state, size, traffic, SMO recency.
+
+        With a ``status_probe`` wired (live migration), the probe's
+        snapshot rides along under ``"migration"`` — backfill cursor,
+        dirty-set size, verify counters, all mid-flight.
+        """
+        out = {
             "name": self.name,
             "index": getattr(self.index, "name", type(self.index).__name__),
             "state": self._state,
@@ -193,8 +247,12 @@ class IndexInstance:
             "smo_count": self.smo_count,
             "last_smo_seq": self.last_smo_seq,
             "progress": dict(self._progress) if self._progress else None,
+            "backfill_fraction": self.backfill_fraction,
             "events": len(self.events),
         }
+        if self.status_probe is not None:
+            out["migration"] = self.status_probe()
+        return out
 
     # -- ExecutionObserver protocol (duck-typed) -------------------------------
 

@@ -44,6 +44,7 @@ from repro.core.instance import (
     MIGRATING,
     RETIRED,
     SERVING,
+    AdmissionError,
     IndexInstance,
 )
 from repro.core.opstream import (
@@ -264,6 +265,8 @@ def run_migration(
     shrink: bool = True,
     oracle_limit: int = 50,
     seed: int = 0,
+    bus=None,
+    bus_window: int = 256,
 ) -> MigrationReport:
     """Migrate ``src`` -> ``dst`` under ``workload``'s live stream.
 
@@ -272,6 +275,16 @@ def run_migration(
     injection).  Returns a :class:`MigrationReport`; never raises for
     divergence — a failed migration *is* a result (abort + rollback +
     shrunk repro), matching the fuzzer's findings-not-errors stance.
+
+    ``bus`` (an :class:`~repro.core.events.EventBus`, duck-typed)
+    receives the migration's full event stream: instance state changes,
+    backfill/verify chunks and admission rejections (via the attached
+    instances), plus ``op_window`` throughput windows every
+    ``bus_window`` applied ops and one ``cutover`` event.  Both
+    instances get a live ``status_probe`` into the multiplexer, so
+    ``IndexInstance.status()`` reports the in-flight backfill cursor
+    and dirty-set size.  All of it reads the meters without charging —
+    the report is identical with or without a bus.
     """
     src = resolve_index_name(src)
     dst = resolve_index_name(dst)
@@ -286,12 +299,18 @@ def run_migration(
 
     source = IndexInstance(make_src(), name=f"{src}@0", spec=src_spec)
     target = IndexInstance(make_dst(), name=f"{dst}@1", spec=dst_spec)
+    if bus is not None:
+        source.attach_bus(bus)
+        target.attach_bus(bus)
     source.bulk_load(workload.bulk_items)
 
     mux = MultiplexIndex(source.index, target.index, chunk=chunk,
                          pump_per_op=pump_per_op, auto_cutover=True)
     mux.progress_sink = lambda stage, done, total: target.note_backfill(
         done, total, stage=stage)
+    # Live status: either instance's status() now snapshots the pump.
+    source.status_probe = mux.status
+    target.status_probe = mux.status
     source.advance(MIGRATING, f"multiplexing to {target.name}")
 
     differ = DifferentialObserver(limit=oracle_limit)
@@ -300,9 +319,13 @@ def run_migration(
     serving = source
     applied: List[Operation] = []
     abort_seq: Optional[int] = None
+    win_meter = None
+    win_start = 0.0
+    win_ops = 0
     for seq, op in enumerate(workload.operations):
-        if not serving.admits(op.op):
-            serving.rejected[op.op] = serving.rejected.get(op.op, 0) + 1
+        try:
+            serving.admit(op.op)
+        except AdmissionError:
             report.rejected_ops += 1
             continue
         client_meter = mux.meter
@@ -320,6 +343,24 @@ def run_migration(
         else:
             report.writes += 1
         applied.append(op)
+        if bus is not None:
+            # Throughput windows on the *client* meter.  The meter
+            # swaps identity at cutover; restart the window there so a
+            # duration never spans two clocks.
+            if win_meter is not client_meter:
+                win_meter = client_meter
+                win_start = client0
+                win_ops = 0
+            win_ops += 1
+            if win_ops >= bus_window:
+                now = client_meter.total_time()
+                dur = now - win_start
+                bus.publish(
+                    "op_window", source=serving.name, t_ns=now,
+                    window_start_ns=win_start, ops=win_ops,
+                    ops_per_vsec=(win_ops / (dur / 1e9)) if dur > 0 else 0.0)
+                win_start = now
+                win_ops = 0
         event = OpEvent(seq=seq, op=op, record=None, ok=ok,
                         scanned=scanned, result=result)
         differ.on_op(event, None)
@@ -337,6 +378,10 @@ def run_migration(
         elif mux.phase == DONE and report.cutover_seq is None:
             report.cutover_seq = seq
             serving = target
+            if bus is not None:
+                bus.publish("cutover", source=target.name,
+                            t_ns=mux.meter.total_time(), op_seq=seq,
+                            src=source.name, dst=target.name)
             target.advance(SERVING, f"cutover at op #{seq}")
             source.advance(DRAINING, "replaced by target")
             source.advance(RETIRED, "drained")
@@ -353,6 +398,11 @@ def run_migration(
         if mux.phase == DONE:
             if report.cutover_seq is None:
                 report.cutover_seq = len(applied)
+                if bus is not None:
+                    bus.publish("cutover", source=target.name,
+                                t_ns=mux.meter.total_time(),
+                                op_seq=len(applied), src=source.name,
+                                dst=target.name)
                 target.advance(SERVING, "cutover after stream end")
                 source.advance(DRAINING, "replaced by target")
                 source.advance(RETIRED, "drained")

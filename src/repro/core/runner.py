@@ -306,6 +306,8 @@ class ExecutionEngine:
         observers: Sequence[ExecutionObserver] = (),
         telemetry: Optional["Telemetry"] = None,
         batch_ops: int = 0,
+        bus=None,
+        bus_window: int = 256,
     ) -> None:
         self.sample_every = sample_every
         self.reset_meter = reset_meter
@@ -313,6 +315,10 @@ class ExecutionEngine:
         self.observers: List[ExecutionObserver] = list(observers)
         if telemetry is not None:
             self.observers.extend(telemetry.observers())
+        # ``bus`` is an EventBus (repro.core.events), duck-typed to
+        # keep this module import-cycle-free like ``telemetry``.
+        if bus is not None:
+            self.observers.append(bus.engine_observer(window_ops=bus_window))
         self._dispatch: Dict[
             str, Callable[[OrderedIndex, Operation], Tuple[bool, int, object]]
         ] = {
@@ -496,7 +502,8 @@ def execute(target, workload: Workload, **engine_options) -> RunResult:
 
     One-call wrapper over :class:`ExecutionEngine`: ``engine_options``
     are forwarded verbatim to the engine constructor (``sample_every``,
-    ``reset_meter``, ``observers``, ``telemetry``, ``batch_ops``), so
+    ``reset_meter``, ``observers``, ``telemetry``, ``batch_ops``,
+    ``bus``), so
     there is exactly one place engine defaults live.  ``target`` is an
     index or an :class:`~repro.core.instance.IndexInstance`; with no
     options the :class:`RunResult` is byte-identical to previous

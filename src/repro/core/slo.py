@@ -1,0 +1,435 @@
+"""SLO tracking over the event bus: windows, budgets, burn rates, alerts.
+
+The paper's verdicts hinge on *tail* behavior under churn — SMO storms
+and p99/p999 excursions, not means.  This module turns the raw signals
+into operator-grade state:
+
+* :class:`SLOTracker` — an execution observer computing windowed
+  p50/p99/p999 **virtual-clock** latency per op kind, checking each
+  window against per-kind :class:`SLOTarget` thresholds, tracking the
+  error budget (the ``1 - objective`` fraction of ops allowed over
+  threshold) and its **burn rate** (violations consumed vs budget
+  granted, per window: burn > 1 means the budget is being spent faster
+  than it accrues), and escalating SMO storms with the same
+  median-baseline rule as
+  :meth:`~repro.core.telemetry.MetricsCollector.smo_storms`.
+* :class:`ControlTower` — a bus subscriber folding the whole event
+  stream (engine windows, instance lifecycle, migration progress, SLO
+  windows, alerts) into one live table per source: state, ops,
+  throughput, p99, backfill progress, rejections, alerts.  ``repro
+  top`` renders it; ``--once --json`` scripts it.
+
+Like every observer in this codebase, the tracker only *reads* the
+cost meter — latencies are consecutive ``meter.total_time()`` deltas —
+so attaching it changes no result and no fingerprint.
+
+Targets may be given explicitly or **auto-calibrated**: with no
+targets, the first closed window sets each op kind's threshold to
+``calibration_factor`` × its observed p99 (the calibration window
+itself is never judged).  That makes ``repro top`` useful on any
+index/workload pair with zero configuration while staying honest —
+alerts then mean "latency degraded versus this run's own start".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.events import (
+    KIND_ADMISSION_REJECT,
+    KIND_ALERT,
+    KIND_BACKFILL_CHUNK,
+    KIND_CACHE_HIT,
+    KIND_CUTOVER,
+    KIND_OP_WINDOW,
+    KIND_PHASE,
+    KIND_SLO_WINDOW,
+    KIND_SMO,
+    KIND_STATE,
+    KIND_SWEEP_TASK,
+    EventBus,
+)
+from repro.core.report import table
+from repro.core.runner import ExecutionObserver, LatencyStats, OpEvent
+
+__all__ = ["Alert", "ControlTower", "SLOTarget", "SLOTracker"]
+
+SEVERITY_WARNING = "warning"
+SEVERITY_CRITICAL = "critical"
+
+ALERT_BURN_RATE = "burn_rate"
+ALERT_SMO_STORM = "smo_storm"
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One op kind's latency objective.
+
+    ``objective`` is the fraction of ops that must complete under
+    ``threshold_ns`` — e.g. 0.99 grants an error budget of 1% of ops
+    per window.
+    """
+
+    op_kind: str
+    threshold_ns: float
+    objective: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.threshold_ns <= 0:
+            raise ValueError("threshold_ns must be positive")
+
+
+@dataclass
+class Alert:
+    """One fired alert; also published to the bus as an ``alert`` event."""
+
+    kind: str  # ALERT_BURN_RATE | ALERT_SMO_STORM
+    severity: str  # SEVERITY_WARNING | SEVERITY_CRITICAL
+    source: str
+    t_ns: float
+    message: str
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.source}: {self.message}"
+
+
+class SLOTracker(ExecutionObserver):
+    """Windowed SLO evaluation of one run's op stream.
+
+    Attach to a run (``observers=[tracker]`` or via ``repro run
+    --events``); every ``window_ops`` operations it closes a window,
+    computes per-op-kind latency percentiles, judges them against the
+    targets, and raises :class:`Alert`\\ s:
+
+    * ``burn_rate`` — a window consumed its error budget faster than
+      granted (burn > 1 warns; burn ≥ ``burn_critical`` is critical).
+    * ``smo_storm`` — the window's SMO rate exceeds
+      ``max(storm_min_rate, storm_factor × median prior rate)`` (the
+      PR-3 detector, streamed); ``storm_escalate`` consecutive hot
+      windows escalate the storm to critical.
+
+    With a ``bus``, every closed window publishes ``slo_window`` events
+    and every alert publishes an ``alert`` event.
+    """
+
+    def __init__(
+        self,
+        targets: Iterable[SLOTarget] = (),
+        window_ops: int = 256,
+        bus: Optional[EventBus] = None,
+        calibration_factor: float = 4.0,
+        burn_critical: float = 4.0,
+        storm_factor: float = 3.0,
+        storm_min_rate: float = 0.05,
+        storm_escalate: int = 3,
+    ) -> None:
+        if window_ops < 1:
+            raise ValueError("window_ops must be >= 1")
+        self.targets: Dict[str, SLOTarget] = {t.op_kind: t for t in targets}
+        self.window_ops = window_ops
+        self.bus = bus
+        self.calibration_factor = calibration_factor
+        self.burn_critical = burn_critical
+        self.storm_factor = storm_factor
+        self.storm_min_rate = storm_min_rate
+        self.storm_escalate = storm_escalate
+        #: Targets were inferred from the first window, not configured.
+        self.auto_calibrated = not self.targets
+        self._calibrated = bool(self.targets)
+
+        self.windows: List[dict] = []
+        self.alerts: List[Alert] = []
+        self.violations: Dict[str, int] = {}
+        self.judged_ops: Dict[str, int] = {}
+
+        self._meter = None
+        self._source = ""
+        self._last_ns = 0.0
+        self._win_start_ns = 0.0
+        self._win_ops = 0
+        self._win_smos = 0
+        self._win_samples: Dict[str, List[float]] = {}
+        self._smo_rates: List[float] = []
+        self._hot_run = 0
+
+    # -- observer hooks --------------------------------------------------------
+
+    def on_phase(self, phase: str, index, workload) -> None:
+        self._meter = index.meter
+        self._source = getattr(index, "name", type(index).__name__)
+        if phase == "measure":
+            self._last_ns = self._meter.total_time()
+            self._win_start_ns = self._last_ns
+        elif phase == "done" and self._win_ops:
+            self._close_window()
+
+    def on_op(self, event: OpEvent, latency) -> None:
+        # Latency is the op's full virtual cost — the delta between
+        # consecutive clock readings — regardless of engine sampling,
+        # so SLO windows see every op, not the ~1% sampled subset.
+        now = self._meter.total_time()
+        self._win_samples.setdefault(event.op.op, []).append(now - self._last_ns)
+        self._last_ns = now
+        self._win_ops += 1
+        if self._win_ops >= self.window_ops:
+            self._close_window()
+
+    def on_smo(self, event: OpEvent) -> None:
+        self._win_smos += 1
+
+    # -- windows ---------------------------------------------------------------
+
+    def _alert(self, kind: str, severity: str, t_ns: float, message: str,
+               **details) -> None:
+        alert = Alert(kind=kind, severity=severity, source=self._source,
+                      t_ns=t_ns, message=message, details=details)
+        self.alerts.append(alert)
+        if self.bus is not None:
+            self.bus.publish(KIND_ALERT, source=self._source, t_ns=t_ns,
+                             alert=kind, severity=severity, message=message,
+                             **details)
+
+    def _close_window(self) -> None:
+        now = self._meter.total_time()
+        window = {"t_ns": now, "window_start_ns": self._win_start_ns,
+                  "ops": self._win_ops, "smos": self._win_smos,
+                  "source": self._source, "ops_kinds": {}}
+        calibrating = not self._calibrated
+        for kind, samples in sorted(self._win_samples.items()):
+            stats = LatencyStats.from_samples(samples)
+            entry = {"count": stats.count, "p50": stats.p50,
+                     "p99": stats.p99, "p999": stats.p999}
+            if calibrating:
+                self.targets[kind] = SLOTarget(
+                    op_kind=kind,
+                    threshold_ns=max(stats.p99, 1.0) * self.calibration_factor)
+            target = self.targets.get(kind)
+            if target is not None and not calibrating:
+                violations = sum(1 for s in samples if s > target.threshold_ns)
+                budget = (1.0 - target.objective) * len(samples)
+                burn = (violations / budget if budget > 0
+                        else (float("inf") if violations else 0.0))
+                self.violations[kind] = self.violations.get(kind, 0) + violations
+                self.judged_ops[kind] = self.judged_ops.get(kind, 0) + len(samples)
+                entry.update(threshold_ns=target.threshold_ns,
+                             violations=violations, burn_rate=burn)
+                if burn > 1.0:
+                    severity = (SEVERITY_CRITICAL if burn >= self.burn_critical
+                                else SEVERITY_WARNING)
+                    self._alert(
+                        ALERT_BURN_RATE, severity, now,
+                        f"{kind} burned {burn:.1f}x its error budget "
+                        f"({violations}/{len(samples)} ops over "
+                        f"{target.threshold_ns:.0f} ns)",
+                        op=kind, burn_rate=burn, violations=violations,
+                        window_ops=len(samples),
+                        threshold_ns=target.threshold_ns)
+            window["ops_kinds"][kind] = entry
+            if self.bus is not None:
+                self.bus.publish(KIND_SLO_WINDOW, source=self._source,
+                                 t_ns=now, op=kind, **entry)
+        if calibrating:
+            self._calibrated = True
+
+        # SMO-storm escalation: the PR-3 median-baseline rule, streamed
+        # over the windows closed so far (>= 3 priors before judging, so
+        # early windows can't self-trigger).
+        rate = self._win_smos / self._win_ops if self._win_ops else 0.0
+        if len(self._smo_rates) >= 3:
+            baseline = sorted(self._smo_rates)[len(self._smo_rates) // 2]
+            threshold = max(self.storm_min_rate, self.storm_factor * baseline)
+            if rate > threshold:
+                self._hot_run += 1
+                if self._hot_run == 1:
+                    self._alert(
+                        ALERT_SMO_STORM, SEVERITY_WARNING, now,
+                        f"SMO storm: {rate:.0%} of ops triggered SMOs "
+                        f"(baseline {baseline:.1%})",
+                        rate=rate, baseline=baseline, threshold=threshold)
+                elif self._hot_run == self.storm_escalate:
+                    self._alert(
+                        ALERT_SMO_STORM, SEVERITY_CRITICAL, now,
+                        f"SMO storm sustained {self._hot_run} windows "
+                        f"({rate:.0%} of ops)",
+                        rate=rate, baseline=baseline,
+                        hot_windows=self._hot_run)
+            else:
+                self._hot_run = 0
+        self._smo_rates.append(rate)
+
+        self.windows.append(window)
+        self._win_start_ns = now
+        self._win_ops = 0
+        self._win_smos = 0
+        self._win_samples = {}
+
+    # -- reporting -------------------------------------------------------------
+
+    def budget_used(self, op_kind: str) -> float:
+        """Fraction of the cumulative error budget consumed (1.0 = spent)."""
+        target = self.targets.get(op_kind)
+        judged = self.judged_ops.get(op_kind, 0)
+        if target is None or judged == 0:
+            return 0.0
+        budget = (1.0 - target.objective) * judged
+        if budget <= 0:
+            return float("inf") if self.violations.get(op_kind) else 0.0
+        return self.violations.get(op_kind, 0) / budget
+
+    def summary(self) -> dict:
+        return {
+            "source": self._source,
+            "windows": len(self.windows),
+            "auto_calibrated": self.auto_calibrated,
+            "targets": {
+                k: {"threshold_ns": t.threshold_ns, "objective": t.objective}
+                for k, t in sorted(self.targets.items())
+            },
+            "op_kinds": {
+                k: {"judged_ops": self.judged_ops.get(k, 0),
+                    "violations": self.violations.get(k, 0),
+                    "budget_used": self.budget_used(k)}
+                for k in sorted(self.targets)
+            },
+            "alerts": [
+                {"kind": a.kind, "severity": a.severity, "source": a.source,
+                 "t_ns": a.t_ns, "message": a.message, "details": a.details}
+                for a in self.alerts
+            ],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Control tower: the live status surface behind `repro top`
+# ---------------------------------------------------------------------------
+
+def _new_row(source: str) -> dict:
+    return {
+        "source": source, "state": "-", "workload": "", "ops": 0,
+        "ops_per_vsec": 0.0, "p99_ns": None, "smos": 0, "rejected": 0,
+        "backfill_stage": "", "backfill_done": 0, "backfill_total": 0,
+        "cutover_seq": None, "alerts": [], "worst_severity": "",
+        "last_t_ns": 0.0, "lifecycle": False,
+    }
+
+
+class ControlTower:
+    """Folds the event stream into one status row per source.
+
+    Feed it live (``bus.subscribe(tower.consume)``) or post-hoc
+    (:meth:`from_records` over a saved event log); either way
+    :meth:`render` is the ``repro top`` table and :meth:`to_json` the
+    scripting surface.
+    """
+
+    def __init__(self) -> None:
+        self.rows: Dict[str, dict] = {}
+        self.sweep = {"tasks": 0, "cache_hits": 0}
+        self.consumed = 0
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "ControlTower":
+        tower = cls()
+        for rec in records:
+            tower.consume(rec)
+        return tower
+
+    def _row(self, source: str) -> dict:
+        row = self.rows.get(source)
+        if row is None:
+            row = self.rows[source] = _new_row(source)
+        return row
+
+    def consume(self, event: dict) -> None:
+        kind = event.get("kind")
+        source = event.get("source", "")
+        self.consumed += 1
+        if kind == KIND_SWEEP_TASK:
+            self.sweep["tasks"] += 1
+            return
+        if kind == KIND_CACHE_HIT:
+            self.sweep["cache_hits"] += 1
+            return
+        row = self._row(source)
+        row["last_t_ns"] = max(row["last_t_ns"], event.get("t_ns", 0.0))
+        if kind == KIND_STATE:
+            row["state"] = event.get("to", row["state"])
+            row["lifecycle"] = True
+        elif kind == KIND_PHASE:
+            row["workload"] = event.get("workload", "") or row["workload"]
+            # Engine phases stand in for state until real lifecycle
+            # events (instance state machine) claim the row.
+            if not row["lifecycle"]:
+                row["state"] = event.get("phase", row["state"])
+        elif kind == KIND_OP_WINDOW:
+            row["ops"] += event.get("ops", 0)
+            row["ops_per_vsec"] = event.get("ops_per_vsec", 0.0)
+        elif kind == KIND_SLO_WINDOW:
+            if event.get("op") == "lookup" or row["p99_ns"] is None:
+                row["p99_ns"] = event.get("p99")
+        elif kind == KIND_SMO:
+            row["smos"] += 1
+        elif kind == KIND_ADMISSION_REJECT:
+            row["rejected"] += 1
+        elif kind == KIND_BACKFILL_CHUNK:
+            row["backfill_stage"] = event.get("stage", "")
+            row["backfill_done"] = event.get("done", 0)
+            row["backfill_total"] = event.get("total", 0)
+        elif kind == KIND_CUTOVER:
+            row["cutover_seq"] = event.get("op_seq")
+            row["state"] = "serving"
+        elif kind == KIND_ALERT:
+            row["alerts"].append(
+                f"[{event.get('severity', '?')}] {event.get('message', '')}")
+            if (event.get("severity") == SEVERITY_CRITICAL
+                    or not row["worst_severity"]):
+                row["worst_severity"] = event.get("severity", "")
+
+    # -- output ----------------------------------------------------------------
+
+    @staticmethod
+    def _backfill_cell(row: dict) -> str:
+        if not row["backfill_total"]:
+            return "-"
+        frac = row["backfill_done"] / row["backfill_total"]
+        return f"{row['backfill_stage']} {frac:.0%}"
+
+    def render(self, title: str = "repro top") -> str:
+        rows = []
+        for source in sorted(self.rows):
+            row = self.rows[source]
+            alerts = (f"{len(row['alerts'])} ({row['worst_severity']})"
+                      if row["alerts"] else "-")
+            rows.append([
+                source, row["state"], row["ops"],
+                f"{row['ops_per_vsec'] / 1e6:.2f}M" if row["ops_per_vsec"] else "-",
+                f"{row['p99_ns']:.0f}" if row["p99_ns"] is not None else "-",
+                self._backfill_cell(row), row["smos"], row["rejected"],
+                alerts,
+            ])
+        out = table(
+            ["Instance", "State", "Ops", "Ops/vs", "p99 ns", "Backfill",
+             "SMOs", "Rej", "Alerts"],
+            rows, title=title)
+        lines = [out]
+        if self.sweep["tasks"] or self.sweep["cache_hits"]:
+            lines.append(f"sweep: {self.sweep['tasks']} tasks, "
+                         f"{self.sweep['cache_hits']} cache hits")
+        alert_lines = []
+        for source in sorted(self.rows):
+            alert_lines.extend(f"  {a}" for a in self.rows[source]["alerts"])
+        if alert_lines:
+            lines.append("alerts:")
+            lines.extend(alert_lines)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "instances": {s: dict(r) for s, r in sorted(self.rows.items())},
+            "sweep": dict(self.sweep),
+            "consumed": self.consumed,
+        }

@@ -511,6 +511,7 @@ def run_sweep(
     cache: Optional[SweepCache] = None,
     on_result: Optional[OnResult] = None,
     observer_factory: Optional[ObserverFactory] = None,
+    bus=None,
 ) -> SweepReport:
     """Execute every task, in parallel where possible, and return all cells.
 
@@ -525,12 +526,33 @@ def run_sweep(
       (single-threaded cells).  Observers must see the run from the
       calling process, so providing a factory forces in-process
       execution of the cells that actually run.
+    * ``bus``: an :class:`~repro.core.events.EventBus` (duck-typed);
+      each resolved cell publishes a ``sweep_task`` (executed) or
+      ``cache_hit`` (served from cache) event, so a live control tower
+      can watch sweep workers alongside engine and migration traffic.
 
     Returns cells in task order regardless of completion order.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
     t0 = time.perf_counter()
+
+    user_on_result = on_result
+
+    def announce(cell: CellResult) -> None:
+        if bus is not None:
+            bus.publish(
+                "cache_hit" if cell.cached else "sweep_task",
+                source=cell.task.index,
+                dataset=cell.task.dataset.name,
+                workload=cell.task.workload.label,
+                mode=cell.task.mode,
+                throughput_mops=cell.throughput_mops,
+                key=cell.key)
+        if user_on_result is not None:
+            user_on_result(cell)
+
+    on_result = announce if (bus is not None or user_on_result is not None) else None
     cells: List[Optional[CellResult]] = [None] * len(tasks)
     pending: List[Tuple[int, SweepTask, str]] = []
     hits = 0

@@ -1,0 +1,158 @@
+"""Bench history: provenance, trajectories, and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.core.bench_history import (
+    HISTORY_KIND,
+    BenchRegression,
+    append_history,
+    check_history,
+    git_rev,
+    history_fingerprint,
+    history_record,
+    load_history,
+    lower_is_better,
+    provenance,
+)
+from repro.core.results import SCHEMA_VERSION, load_jsonl
+
+CTX = {"dataset": "covid", "n": 1000, "seed": 0}
+
+
+# -- provenance ----------------------------------------------------------------
+
+def test_provenance_fields():
+    p = provenance()
+    assert p["schema_version"] == SCHEMA_VERSION
+    assert p["git_rev"] and isinstance(p["git_rev"], str)
+    assert p["timestamp"].endswith("Z") and "T" in p["timestamp"]
+
+
+def test_git_rev_in_a_repo_is_short_hex():
+    rev = git_rev()
+    assert rev == "unknown" or (4 <= len(rev) <= 16
+                                and all(c in "0123456789abcdef" for c in rev))
+
+
+# -- records and fingerprints --------------------------------------------------
+
+def test_record_shape_and_fingerprint_determinism():
+    a = history_record("bench", {"mops": 2.0}, info={"wall": 1.23}, context=CTX)
+    b = history_record("bench", {"mops": 2.0}, info={"wall": 9.99}, context=CTX)
+    assert a["kind"] == HISTORY_KIND
+    assert a["fingerprint"] == b["fingerprint"]  # info never fingerprints
+    assert a["schema_version"] == SCHEMA_VERSION
+    c = history_record("bench", {"mops": 2.1}, context=CTX)
+    assert c["fingerprint"] != a["fingerprint"]
+    assert history_fingerprint("bench", CTX, {"mops": 2.0}) == a["fingerprint"]
+
+
+def test_append_and_load_filter_by_suite_and_context(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    append_history(path, "bench", {"mops": 2.0}, context=CTX)
+    append_history(path, "sweep", {"mops": 5.0}, context=CTX)
+    append_history(path, "bench", {"mops": 3.0}, context={**CTX, "n": 2000})
+    assert len(load_history(path)) == 3
+    assert len(load_history(path, suite="bench")) == 2
+    assert len(load_history(path, suite="bench", context=CTX)) == 1
+    assert load_history(str(tmp_path / "missing.jsonl")) == []
+
+
+def test_records_are_versioned_results_artifacts(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    append_history(path, "bench", {"mops": 2.0}, context=CTX)
+    raw = load_jsonl(path)
+    assert raw[0]["schema_version"] == SCHEMA_VERSION
+    # Foreign records in the same stream are ignored, not crashed on.
+    with open(path, "a") as f:
+        f.write(json.dumps({"kind": "run", "schema_version": 1}) + "\n")
+    assert len(load_history(path)) == 1
+
+
+# -- direction inference -------------------------------------------------------
+
+@pytest.mark.parametrize("metric,lower", [
+    ("virtual_lookup_p99_ns", True),
+    ("overhead_ns", True),
+    ("client_latency", True),
+    ("wall_seconds", True),
+    ("virtual_lookup_mops", False),
+    ("ops_per_vsec", False),
+    ("speedup", False),
+    ("backfill_keys_per_vsec", False),
+])
+def test_lower_is_better_inference(metric, lower):
+    assert lower_is_better(metric) is lower
+
+
+# -- the gate ------------------------------------------------------------------
+
+def test_empty_baseline_passes(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    assert check_history(path, "bench", {"mops": 2.0}, context=CTX) == []
+
+
+def test_throughput_regression_fails_and_improvement_passes(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    append_history(path, "bench", {"mops": 2.0}, context=CTX)
+    # 20% drop against a 15% tolerance: gate trips.
+    bad = check_history(path, "bench", {"mops": 1.6}, context=CTX)
+    assert len(bad) == 1
+    reg = bad[0]
+    assert reg.metric == "mops" and reg.baseline == 2.0
+    assert reg.change == pytest.approx(-0.2)
+    assert "dropped" in str(reg) and "-20.0%" in str(reg)
+    # Within tolerance and improvements both pass.
+    assert check_history(path, "bench", {"mops": 1.8}, context=CTX) == []
+    assert check_history(path, "bench", {"mops": 9.0}, context=CTX) == []
+
+
+def test_latency_regresses_upward(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    append_history(path, "bench", {"p99_ns": 100.0}, context=CTX)
+    bad = check_history(path, "bench", {"p99_ns": 130.0}, context=CTX)
+    assert len(bad) == 1 and "rose" in str(bad[0])
+    assert check_history(path, "bench", {"p99_ns": 50.0}, context=CTX) == []
+
+
+def test_baseline_is_the_median_not_the_latest(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    for mops in (2.0, 2.1, 50.0):  # one absurd outlier record
+        append_history(path, "bench", {"mops": mops}, context=CTX)
+    # Median 2.1 is the baseline: 1.9 is within 15%, despite the outlier.
+    assert check_history(path, "bench", {"mops": 1.9}, context=CTX) == []
+    assert len(check_history(path, "bench", {"mops": 1.5}, context=CTX)) == 1
+
+
+def test_different_context_starts_a_fresh_trajectory(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    append_history(path, "bench", {"mops": 10.0}, context=CTX)
+    # Same suite, different params: prior record is not a baseline.
+    assert check_history(path, "bench", {"mops": 1.0},
+                         context={**CTX, "n": 9999}) == []
+
+
+def test_regressions_sorted_worst_first_and_tolerance_validated(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    append_history(path, "bench", {"a_mops": 10.0, "b_mops": 10.0}, context=CTX)
+    bad = check_history(path, "bench", {"a_mops": 8.0, "b_mops": 2.0},
+                        context=CTX)
+    assert [r.metric for r in bad] == ["b_mops", "a_mops"]
+    with pytest.raises(ValueError):
+        check_history(path, "bench", {"a_mops": 8.0}, tolerance=-0.1)
+
+
+def test_unseen_metric_and_zero_baseline_are_skipped(tmp_path):
+    path = str(tmp_path / "hist.jsonl")
+    append_history(path, "bench", {"mops": 0.0}, context=CTX)
+    assert check_history(path, "bench",
+                         {"mops": 0.0, "brand_new": 1.0}, context=CTX) == []
+
+
+def test_regression_str_mentions_tolerance():
+    reg = BenchRegression(suite="bench", metric="mops", baseline=2.0,
+                          current=1.0, tolerance=0.15)
+    assert "tolerance 15%" in str(reg)
+    assert reg.change == pytest.approx(-0.5)

@@ -332,3 +332,94 @@ def test_list_command_shows_migrate_capability(capsys):
     code, out = _run(capsys, "list")
     assert code == 0
     assert "migrate" in out
+
+
+# -- observability: run --events, top, and the bench-history gate --------------
+
+def test_run_events_writes_validated_log(tmp_path, capsys):
+    from repro.core.events import validate_bus_events
+    from repro.core.results import load_jsonl
+
+    path = str(tmp_path / "events.jsonl")
+    code, out = _run(capsys, "run", "--index", "ALEX", "--dataset", "covid",
+                     "--n", "2000", "--ops", "1000", "--events", path)
+    assert code == 0
+    assert f"events: {path}" in out and "SLO alert" in out
+    records = load_jsonl(path)
+    assert validate_bus_events(records) > 0
+    kinds = {r["kind"] for r in records}
+    assert {"phase", "op_window", "state", "slo_window"} <= kinds
+
+
+def test_top_replays_a_saved_event_log(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "events.jsonl")
+    code, _ = _run(capsys, "run", "--index", "B+tree", "--dataset", "covid",
+                   "--n", "1500", "--ops", "800", "--events", path)
+    assert code == 0
+    code, out = _run(capsys, "top", "--events", path, "--once", "--json")
+    assert code == 0
+    doc = json.loads(out)
+    row = doc["instances"]["B+tree"]
+    assert row["state"] == "serving"
+    assert row["ops"] == 800
+    assert row["p99_ns"] is not None
+
+
+def test_top_live_single_index(capsys):
+    import json
+
+    code, out = _run(capsys, "top", "--index", "ALEX", "--dataset", "covid",
+                     "--n", "1500", "--ops", "600", "--once", "--json")
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["instances"]["ALEX"]["ops"] == 600
+    # Plain --once renders the ASCII table instead.
+    code, out = _run(capsys, "top", "--index", "ALEX", "--dataset", "covid",
+                     "--n", "1500", "--ops", "600", "--once")
+    assert code == 0
+    assert "Instance" in out and "ALEX" in out
+
+
+def test_top_watches_a_live_migration(capsys):
+    code, out = _run(capsys, "top", "--migrate", "btree", "alex",
+                     "--dataset", "covid", "--n", "2000", "--ops", "1500",
+                     "--workload", "churn", "--once")
+    assert code == 0
+    assert "ALEX@1" in out and "B+tree@0" in out
+    assert "serving" in out and "retired" in out
+
+
+def test_bench_history_gate_passes_then_fails_on_regression(tmp_path, capsys):
+    import json
+
+    from repro.core.results import load_jsonl
+
+    hist = str(tmp_path / "history.jsonl")
+    argv = ["bench", "--indexes", "ALEX", "--dataset", "covid",
+            "--n", "1500", "--lookups", "600", "--out", "",
+            "--history", hist]
+    # First run seeds the trajectory; --check passes on an empty baseline.
+    assert main(argv + ["--check"]) == 0
+    out = capsys.readouterr().out
+    assert "no regressions" in out and "appended" in out
+    # Identical rerun: virtual metrics are deterministic, gate passes.
+    assert main(argv + ["--check"]) == 0
+    assert "no regressions" in capsys.readouterr().out
+
+    # Doctor the history: claim throughput used to be 2x. The real rerun
+    # is now a 50% regression and the gate must trip.
+    records = load_jsonl(hist)
+    forged = dict(records[0])
+    forged["metrics"] = dict(forged["metrics"])
+    for key in forged["metrics"]:
+        if "mops" in key:
+            forged["metrics"][key] *= 2.0
+    with open(hist, "a") as f:
+        f.write(json.dumps(forged) + "\n")
+        f.write(json.dumps(forged) + "\n")
+    assert main(argv + ["--check"]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.err and "dropped" in captured.err
+    assert "regression(s)" in captured.err

@@ -385,3 +385,68 @@ def test_churn_workload_shape():
             assert op.key not in loaded
     with pytest.raises(ValueError):
         churn_workload(KEYS[:10], write_frac=1.5)
+
+
+# -- live status during an in-flight migration (observability satellite) -------
+
+def _wired_instances(n=200, chunk=50):
+    """Instances wired to one mux exactly the way run_migration does it."""
+    from repro.core.instance import IndexInstance
+
+    source = IndexInstance(BPlusTree(), name="src@0")
+    source.bulk_load(ITEMS[:n])
+    target = IndexInstance(BPlusTree(), name="dst@1")
+    mux = MultiplexIndex(source.index, target.index, chunk=chunk)
+    mux.progress_sink = lambda stage, done, total: target.note_backfill(
+        done, total, stage=stage)
+    source.status_probe = mux.status
+    target.status_probe = mux.status
+    return source, target, mux
+
+
+def test_instance_status_snapshots_the_backfill_cursor():
+    source, target, mux = _wired_instances(n=200, chunk=50)
+    mux.pump()  # one chunk copied
+    st = source.status()
+    assert st["migration"]["phase"] == BACKFILL
+    assert st["migration"]["backfill_keys"] == 50
+    assert st["migration"]["cursor"] == KEYS[49] + 1  # exclusive resume bound
+    assert st["migration"]["secondary"] == "B+tree"
+    assert target.status()["backfill_fraction"] == 0.25
+    assert target.status()["progress"]["stage"] == "backfill"
+    mux.pump()
+    assert source.status()["migration"]["backfill_keys"] == 100
+    assert target.status()["backfill_fraction"] == 0.5
+
+
+def test_instance_status_reports_dirty_set_in_ready_window():
+    source, target, mux = _wired_instances(n=200, chunk=50)
+    _pump_until(mux, READY)
+    assert source.status()["migration"]["dirty"] == 0
+    mux.update(KEYS[0], 4242)
+    mux.update(KEYS[1], 4343)
+    st = source.status()["migration"]
+    assert st["phase"] == READY
+    assert st["dirty"] == 2
+    assert st["dual_writes"] == 2
+    mux.cutover()
+    st = source.status()["migration"]
+    assert st["phase"] == DONE and st["dirty"] == 0
+    assert st["reverify_keys"] >= 2
+
+
+def test_instance_status_counts_rejections_while_draining():
+    from repro.core.instance import DRAINING, MIGRATING, AdmissionError
+
+    source, target, mux = _wired_instances(n=100, chunk=50)
+    source.advance(MIGRATING).advance(DRAINING)
+    for _ in range(3):
+        with pytest.raises(AdmissionError):
+            source.admit(INSERT)
+    with pytest.raises(AdmissionError):
+        source.admit("delete")
+    st = source.status()
+    assert st["state"] == DRAINING
+    assert st["rejected"] == {INSERT: 3, "delete": 1}
+    source.admit(LOOKUP)  # reads drain through untouched
+    assert source.status()["rejected"] == {INSERT: 3, "delete": 1}
