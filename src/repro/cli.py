@@ -29,6 +29,7 @@ from repro.core.workloads import (
     churn_workload,
     deletion_workload,
     mixed_workload,
+    moving_hotspot_workload,
     scan_workload,
     ycsb_workload,
 )
@@ -54,9 +55,13 @@ def _workload(args, keys):
     if name.startswith("churn"):
         frac = float(name.split(":")[1]) if ":" in name else 0.5
         return churn_workload(keys, frac, n_ops=args.ops, seed=args.seed)
+    if name.startswith("hotspot"):
+        phases = int(name.split(":")[1]) if ":" in name else 4
+        return moving_hotspot_workload(keys, n_ops=args.ops, phases=phases,
+                                       seed=args.seed)
     raise SystemExit(
         f"unknown workload {name!r}; use one of {MIX_NAMES}, ycsb-a/b/c, "
-        "delete, scan[:SIZE], churn[:WRITE_FRAC]"
+        "delete, scan[:SIZE], churn[:WRITE_FRAC], hotspot[:PHASES]"
     )
 
 
@@ -74,17 +79,20 @@ def cmd_list(args) -> int:
             "x" if spec.supports_range else "",
             "x" if spec.supports_batch else "",
             "x" if spec.supports_migration else "",
+            "x" if spec.supports_sharding else "",
             concurrent.get(spec.name, "") or "",
             ",".join(sorted(spec.tags)),
         ])
     print(table(
         ["Index", "Family", "insert", "delete", "range", "batch",
-         "migrate", "concurrent", "tags"],
+         "migrate", "shard", "concurrent", "tags"],
         rows, title=f"Index registry ({len(REGISTRY)} entries)"))
     print("\nbatch = numpy-vectorized lookup_many fast path "
           "(see `repro bench`); every index accepts the *_many APIs.\n"
           "migrate = eligible for zero-downtime live migration "
-          "(see `repro migrate`).")
+          "(see `repro migrate`).\n"
+          "shard = usable as the per-shard engine of the sharded "
+          "serving tier (see `repro shard`).")
     return 0
 
 
@@ -371,6 +379,7 @@ def cmd_top(args) -> int:
     from repro.core.slo import ControlTower, SLOTracker
 
     tower = ControlTower()
+    view = None
     if args.events:
         records = load_jsonl(args.events)
         validate_bus_events(records)
@@ -390,7 +399,24 @@ def cmd_top(args) -> int:
             bus.subscribe(refresh, kinds=[KIND_OP_WINDOW])
         keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
         wl = _workload(args, keys)
-        if args.migrate:
+        if getattr(args, "shards", 0):
+            from repro.core.shard import ShardedIndex, ShardRouter
+            from repro.core.slo import cluster_view
+
+            try:
+                spec = REGISTRY.get(args.index)
+            except KeyError as exc:
+                raise SystemExit(exc.args[0]) from None
+            if not spec.supports_sharding:
+                raise SystemExit(f"{args.index!r} does not support sharding "
+                                 "(see `repro list`)")
+            sharded = ShardedIndex(args.index, n_shards=args.shards)
+            sharded.attach_bus(bus)
+            router = ShardRouter(sharded, window_ops=max(args.window, 64),
+                                 slo_window=args.window, bus=bus)
+            router.run(wl)
+            view = cluster_view(router.all_trackers)
+        elif args.migrate:
             from repro.core.migrate import resolve_index_name, run_migration
 
             try:
@@ -409,9 +435,17 @@ def cmd_top(args) -> int:
             execute(target, wl, bus=bus, bus_window=args.window,
                     observers=[slo])
     if args.json:
-        print(json.dumps(tower.to_json(), indent=2))
+        doc = tower.to_json()
+        if view is not None:
+            doc = {"tower": doc, "cluster": view}
+        print(json.dumps(doc, indent=2))
         return 0
     print(tower.render())
+    if view is not None:
+        from repro.core.slo import render_cluster_view
+
+        print()
+        print(render_cluster_view(view))
     return 0
 
 
@@ -787,6 +821,119 @@ def cmd_migrate(args) -> int:
     return 0
 
 
+def cmd_shard(args) -> int:
+    """Sharded serving tier: scaling curve + hotspot-rebalance replay."""
+    import json
+
+    from repro.core.bench_history import provenance
+    from repro.core.shard import rebalance_benchmark, scaling_benchmark
+
+    try:
+        spec = REGISTRY.get(args.index)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    if not spec.supports_sharding:
+        raise SystemExit(f"{args.index!r} does not support sharding "
+                         "(see `repro list`)")
+    counts = tuple(int(c) for c in args.shard_counts.split(",") if c)
+    try:
+        scaling = scaling_benchmark(
+            index=args.index, dataset=args.dataset, n=args.n,
+            lookups=args.lookups, shard_counts=counts, seed=args.seed,
+            batch=args.batch,
+            jobs=args.jobs if args.jobs is not None else 0)
+    except AssertionError as exc:  # fingerprint divergence — a real bug
+        print(f"FAIL: {exc}", file=sys.stderr)
+        return 1
+    rebalance = rebalance_benchmark(
+        index=args.index, dataset=args.dataset, n=args.n, ops=args.ops,
+        shards=args.shards, window_ops=args.window, seed=args.seed)
+
+    doc = {"scaling": scaling, "rebalance": rebalance}
+    doc.update(provenance())
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        rows = []
+        for level in scaling["levels"]:
+            rows.append([
+                level["shards"],
+                f"{level['virtual_mops_serial']:.2f}",
+                f"{level['virtual_mops_parallel']:.2f}",
+                f"{level['routing_ns']:.0f}",
+                f"{level['wall_pool_s']:.3f}",
+                level["pool_jobs"],
+                "ok" if level["pool_parity"] else "DIVERGED",
+            ])
+        print(table(
+            ["Shards", "Mops (serial)", "Mops (parallel)", "routing ns",
+             "pool wall s", "jobs", "parity"],
+            rows,
+            title=f"{args.index} scaling on {args.dataset} "
+                  f"(n={args.n}, {args.lookups} zipfian lookups, "
+                  f"batch={args.batch})"))
+        print(f"\nvirtual lookup scaling {counts[0]} -> {counts[-1]} shards: "
+              f"{scaling['scaling_virtual']:.2f}x "
+              f"(fingerprint parity vs unsharded: ok)")
+        rb = rebalance
+        print(f"\nmoving-hotspot replay ({rb['ops']} ops, "
+              f"{rb['shards_initial']} -> {rb['shards_final']} shards): "
+              f"{rb['splits']} splits, {rb['merges']} merges, "
+              f"{rb['aborted']} aborted")
+        print(f"  p99 ns: pre-skew {rb['pre_skew_p99_ns']:.0f}, "
+              f"peak {rb['peak_p99_ns']:.0f}, "
+              f"post-rebalance {rb['post_rebalance_p99_ns']:.0f} "
+              f"(recovery ratio {rb['p99_recovery_ratio']:.2f})")
+        print(f"  cutover stall ops: {rb['cutover_stall_ops']}, "
+              f"rejected: {rb['rejected_ops']}, "
+              f"oracle: {'clean' if rb['oracle_ok'] else 'DIVERGED'}, "
+              f"converged: {rb['converged']}")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2)
+        print(f"wrote {args.out}")
+    if args.history:
+        from repro.core.bench_history import append_history, check_history
+
+        metrics = {
+            "scaling_virtual": scaling["scaling_virtual"],
+            "virtual_mops_max": scaling["virtual_mops_max"],
+            "p99_recovery_ratio": rebalance["p99_recovery_ratio"],
+        }
+        context = {"index": args.index, "dataset": args.dataset,
+                   "n": args.n, "lookups": args.lookups, "ops": args.ops,
+                   "shard_counts": list(counts), "shards": args.shards,
+                   "batch": args.batch, "window": args.window,
+                   "seed": args.seed}
+        if args.check:
+            regressions = check_history(args.history, "shard", metrics,
+                                        context=context,
+                                        tolerance=args.tolerance)
+            if regressions:
+                for reg in regressions:
+                    print(f"FAIL {reg}", file=sys.stderr)
+                return 1
+            print(f"shard --check: no regressions vs {args.history} "
+                  f"(tolerance {args.tolerance:.0%})")
+        append_history(args.history, "shard", metrics,
+                       info={"wall_seconds": rebalance["wall_seconds"]},
+                       context=context)
+    ok = True
+    if scaling["scaling_virtual"] < args.min_scaling:
+        print(f"FAIL: virtual scaling {scaling['scaling_virtual']:.2f}x < "
+              f"--min-scaling {args.min_scaling:.2f}x", file=sys.stderr)
+        ok = False
+    if not rebalance["converged"]:
+        print("FAIL: moving-hotspot replay did not converge "
+              f"(recovery ratio {rebalance['p99_recovery_ratio']:.2f}, "
+              f"splits {rebalance['splits']}, "
+              f"stall ops {rebalance['cutover_stall_ops']}, "
+              f"oracle {'clean' if rebalance['oracle_ok'] else 'diverged'})",
+              file=sys.stderr)
+        ok = False
+    return 0 if ok else 1
+
+
 def cmd_compare_runs(args) -> int:
     from repro.core.results import ResultStore, compare
 
@@ -897,6 +1044,10 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--migrate", nargs=2, metavar=("SRC", "DST"),
                     help="live mode: watch a live migration instead of "
                          "a single-index run")
+    sp.add_argument("--shards", type=int, default=0,
+                    help="live mode: run --index sharded N ways under a "
+                         "rebalancing router and aggregate the per-shard "
+                         "SLO trackers into a cluster view")
     sp.add_argument("--once", action="store_true",
                     help="print the final table once (no live refresh)")
     sp.add_argument("--json", action="store_true",
@@ -1032,6 +1183,37 @@ def build_parser() -> argparse.ArgumentParser:
     _history_flags(sp)
     common(sp, workload=True)
 
+    sp = sub.add_parser(
+        "shard",
+        help="sharded serving tier: range-partitioned scaling curve + "
+             "hotspot rebalance under a moving-hotspot replay")
+    sp.add_argument("--index", default="ALEX",
+                    help=f"shard engine, one of {sorted(_ALL_INDEXES)}")
+    sp.add_argument("--shard-counts", default="1,2,4,8", dest="shard_counts",
+                    help="comma-separated shard counts for the scaling "
+                         "curve")
+    sp.add_argument("--lookups", type=int, default=8000,
+                    help="zipfian lookups per scaling level")
+    sp.add_argument("--batch", type=int, default=512,
+                    help="keys per lookup_many batch")
+    sp.add_argument("--jobs", type=int, default=None,
+                    help="worker processes for the parallel wall-clock "
+                         "measurement (default: one per CPU)")
+    sp.add_argument("--shards", type=int, default=4,
+                    help="initial shard count for the rebalance replay")
+    sp.add_argument("--window", type=int, default=512,
+                    help="router census window (ops)")
+    sp.add_argument("--min-scaling", type=float, default=0.0,
+                    dest="min_scaling",
+                    help="fail if the 1 -> max-shard virtual lookup "
+                         "scaling factor is below this")
+    sp.add_argument("--out", default="BENCH_shard.json",
+                    help="write the JSON report here ('' to skip)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable report")
+    _history_flags(sp)
+    common(sp)
+
     sp = sub.add_parser("compare-runs",
                         help="regressions between two result files")
     sp.add_argument("baseline")
@@ -1056,6 +1238,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "fuzz": cmd_fuzz,
     "migrate": cmd_migrate,
+    "shard": cmd_shard,
     "compare-runs": cmd_compare_runs,
 }
 

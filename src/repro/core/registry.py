@@ -77,6 +77,12 @@ class IndexSpec:
     #: for the backfill snapshot cursor, migrating *to* needs inserts —
     #: so the flag requires both.
     supports_migration: bool = False
+    #: Whether the index can serve as the per-shard engine of a
+    #: :class:`~repro.core.shard.ShardedIndex`: shard split/merge is a
+    #: live migration over the shard's range, so the requirements match
+    #: ``supports_migration`` — ``range_scan`` for the backfill cursor
+    #: plus inserts for the migration targets.
+    supports_sharding: bool = False
     tags: frozenset = field(default_factory=frozenset)
     #: Concurrent variant (Section 4.2), bound by the adapters module.
     concurrent_name: Optional[str] = None
@@ -231,6 +237,8 @@ def _populate(reg: IndexRegistry) -> IndexRegistry:
             supports_range=factory.supports_range,
             supports_migration=(caps.get("supports_insert", True)
                                 and factory.supports_range),
+            supports_sharding=(caps.get("supports_insert", True)
+                               and factory.supports_range),
             tags=tags,
             **caps,
         ))

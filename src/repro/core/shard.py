@@ -1,0 +1,1462 @@
+"""Sharded serving tier: range partitioning, routing, hotspot rebalancing.
+
+The paper's verdicts are all single-index; the ROADMAP's end-state is a
+service that range-partitions the keyspace across N shard instances and
+rebalances when traffic skews.  This module is that tier, built from
+parts that already exist:
+
+* :class:`ShardMap` — sorted split keys; shard ``i`` owns the half-open
+  range ``[boundaries[i-1], boundaries[i])``, routed by binary search.
+* :class:`ShardedIndex` — the full ``OrderedIndex`` contract over N
+  :class:`~repro.core.instance.IndexInstance` shards.  Scalar ops route
+  to one shard; ``lookup_many``/``insert_many`` partition the key array
+  per shard so the vectorized batch paths amortize *per shard*;
+  boundary-straddling ``range_scan`` stitches neighbors.  Every shard
+  meters on its own :class:`~repro.core.cost.CostMeter`, all adopted
+  into one :class:`ClusterMeter` so the cluster-wide virtual clock stays
+  a single monotonic reading — and the *parallel* clock (max per-shard
+  busy time + routing) is derivable from the same parts.
+* split/merge/migrate — a hot shard splits into two halves, a cold
+  adjacent pair merges into one; both are executed as *live migrations*
+  through :class:`~repro.indexes.multiplex.MultiplexIndex` (dual writes,
+  interleaved backfill, oracle-style verify, atomic cutover), so a
+  rebalancing shard keeps serving every op (``cutover_stall_ops == 0``
+  by construction).
+* :class:`ShardRouter` — the control plane: per-shard
+  :class:`~repro.core.slo.SLOTracker` windows plus a per-window traffic
+  census; hotspot detection triggers a split, sustained cold adjacent
+  pairs merge, and in-flight migrations are pumped between windows.
+* a process-pool executor mirroring the sweep engine's scheduling
+  (serial fallback, per-worker memoization) for wall-clock parallel
+  shard execution, with per-shard value fingerprints so parallel and
+  serial runs are provably identical.
+
+Determinism contract: a sharded *serial* run is bit-identical in value
+fingerprint (:func:`routed_fingerprint`) to an unsharded run of the same
+operation stream, and the differential oracle runs clean over the routed
+stream.  Virtual *cost* is intentionally not identical — routing charges
+and smaller per-shard structures are the measured effect.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.cost import KEY_COMPARE, CostDelta, CostMeter
+from repro.core.instance import (
+    DRAINING,
+    MIGRATING,
+    RETIRED,
+    SERVING,
+    IndexInstance,
+)
+from repro.core.registry import REGISTRY
+from repro.core.runner import ExecutionObserver, OpEvent, execute
+from repro.core.slo import SLOTracker
+from repro.core.sweep import DatasetSpec, resolve_jobs
+from repro.core.workloads import (
+    DELETE,
+    INSERT,
+    LOOKUP,
+    SCAN,
+    UPDATE,
+    Workload,
+    payload,
+)
+from repro.indexes.base import (
+    KEY_BYTES,
+    Key,
+    MemoryBreakdown,
+    OrderedIndex,
+    POINTER_BYTES,
+    Value,
+)
+from repro.indexes.multiplex import DONE, FAILED, READY, MultiplexIndex
+
+__all__ = [
+    "ClusterMeter", "Rebalance", "RouterReport", "ShardBatchTask",
+    "ShardMap", "ShardRouter", "ShardedIndex", "ResultHasher",
+    "rebalance_benchmark", "routed_fingerprint",
+    "run_shard_batches", "scaling_benchmark",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shard map: sorted range partitions
+# ---------------------------------------------------------------------------
+
+class ShardMap:
+    """Sorted split keys partitioning the keyspace into half-open ranges.
+
+    ``boundaries = [b0, b1, ...]`` defines ``len(boundaries) + 1``
+    shards: shard 0 owns ``(-inf, b0)``, shard i owns ``[b(i-1), b(i))``,
+    the last shard owns ``[b(last), +inf)``.  Routing is one binary
+    search (``bisect_right``), so a lookup's owner is found in
+    ``O(log shards)`` comparisons — the :class:`ShardedIndex` charges
+    exactly that to its routing meter.
+    """
+
+    def __init__(self, boundaries: Sequence[Key] = ()) -> None:
+        bl = list(boundaries)
+        for i in range(1, len(bl)):
+            if bl[i - 1] >= bl[i]:
+                raise ValueError(
+                    f"shard boundaries must be strictly increasing, got "
+                    f"{bl[i - 1]} >= {bl[i]}")
+        self.boundaries: List[Key] = bl
+
+    @classmethod
+    def from_items(cls, items: Sequence[Tuple[Key, Value]],
+                   n_shards: int) -> "ShardMap":
+        """Equal-population boundaries over sorted ``items``."""
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        keys = [k for k, _ in items]
+        bounds: List[Key] = []
+        for i in range(1, n_shards):
+            pos = (i * len(keys)) // n_shards
+            if 0 < pos < len(keys):
+                b = keys[pos]
+                if not bounds or b > bounds[-1]:
+                    bounds.append(b)
+        return cls(bounds)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.boundaries) + 1
+
+    def route(self, key: Key) -> int:
+        """Shard id owning ``key`` (pure; metering is the caller's job)."""
+        return bisect.bisect_right(self.boundaries, key)
+
+    def range_of(self, sid: int) -> Tuple[Optional[Key], Optional[Key]]:
+        """``[lo, hi)`` of shard ``sid``; ``None`` means unbounded."""
+        if not 0 <= sid < self.n_shards:
+            raise IndexError(f"no shard {sid} in a {self.n_shards}-shard map")
+        lo = self.boundaries[sid - 1] if sid > 0 else None
+        hi = self.boundaries[sid] if sid < len(self.boundaries) else None
+        return lo, hi
+
+    def split(self, sid: int, at_key: Key) -> None:
+        """Split shard ``sid`` at ``at_key`` (which the right half owns)."""
+        lo, hi = self.range_of(sid)
+        if (lo is not None and at_key <= lo) or (hi is not None and at_key >= hi):
+            raise ValueError(
+                f"split key {at_key} outside shard {sid} range [{lo}, {hi})")
+        self.boundaries.insert(sid, at_key)
+
+    def merge(self, sid: int) -> Key:
+        """Merge shards ``sid`` and ``sid+1``; returns the removed boundary."""
+        if not 0 <= sid < len(self.boundaries):
+            raise IndexError(f"cannot merge shard {sid}: no right neighbor")
+        return self.boundaries.pop(sid)
+
+    def to_dict(self) -> dict:
+        return {"boundaries": list(self.boundaries), "n_shards": self.n_shards}
+
+    def describe(self) -> str:
+        return f"{self.n_shards} shards, boundaries={self.boundaries}"
+
+    def __repr__(self) -> str:
+        return f"ShardMap({self.boundaries!r})"
+
+
+# ---------------------------------------------------------------------------
+# Cluster meter: one monotonic virtual clock over many shard meters
+# ---------------------------------------------------------------------------
+
+class ClusterMeter(CostMeter):
+    """A cost meter that aggregates adopted per-shard meters.
+
+    The sharded index's own charges (routing comparisons) land on this
+    meter directly; every shard index — and every migration-overhead
+    meter — keeps its own :class:`CostMeter`, adopted via :meth:`adopt`.
+    All read paths (``total_time``, ``time_by_phase``, ``snapshot`` /
+    ``diff``) merge the parts, so the engine and the SLO trackers see a
+    single monotonic cluster clock.
+
+    Adopted parts are **never removed**: a retired shard's meter simply
+    stops growing, which is what keeps the clock monotonic across
+    splits, merges, and cutovers.  Per-shard *busy time* (the parallel
+    makespan ingredient) is read from the parts individually.
+    """
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None) -> None:
+        super().__init__(weights)
+        self.parts: List[CostMeter] = []
+
+    def adopt(self, meter: CostMeter) -> CostMeter:
+        """Fold ``meter``'s charges into this cluster clock, forever."""
+        self.parts.append(meter)
+        return meter
+
+    def _merged(self) -> Dict[Tuple[str, str], float]:
+        merged = dict(self._counts)
+        for part in self.parts:
+            for key, v in part._counts.items():
+                merged[key] = merged.get(key, 0.0) + v
+        return merged
+
+    def routing_ns(self) -> float:
+        """Virtual time charged to routing itself (own counts only)."""
+        return CostMeter.total_time(self)
+
+    def total_time(self) -> float:
+        return CostMeter.total_time(self) + sum(
+            part.total_time() for part in self.parts)
+
+    def total_units(self, kind: str) -> float:
+        return sum(v for (_, k), v in self._merged().items() if k == kind)
+
+    def time_by_phase(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for (phase, kind), v in self._merged().items():
+            out[phase] = out.get(phase, 0.0) + self.weights.get(kind, 0.0) * v
+        return out
+
+    def snapshot(self) -> Dict[Tuple[str, str], float]:
+        return self._merged()
+
+    def diff(self, before: Dict[Tuple[str, str], float]) -> CostDelta:
+        delta: Dict[Tuple[str, str], float] = {}
+        for key, v in self._merged().items():
+            d = v - before.get(key, 0.0)
+            if d:
+                delta[key] = d
+        return CostDelta(delta, self.weights)
+
+    def reset(self) -> None:
+        super().reset()
+        for part in self.parts:
+            part.reset()
+
+
+# ---------------------------------------------------------------------------
+# Range view: several children behind one OrderedIndex (migration target)
+# ---------------------------------------------------------------------------
+
+class _RangeView(OrderedIndex):
+    """Adapter presenting N range-partitioned children as one index.
+
+    This is what makes shard split/merge a plain
+    :class:`~repro.indexes.multiplex.MultiplexIndex` migration:
+
+    * **split** — the view (two empty halves + the split key) is the
+      migration *secondary*; backfill copies the hot shard into it, the
+      view routes each key to the correct half.
+    * **merge** — the view (the two cold neighbors + their boundary) is
+      the migration *primary*; backfill reads through it in key order
+      into one fresh combined index.
+
+    Each delegated call *lends* the view's current meter to the child
+    for its duration (:meth:`_lend` reads ``self.meter`` dynamically),
+    which composes with the multiplexer's ``_borrowed_meter``: backfill
+    and verify reads land on the migration-overhead meter, client ops
+    on the client-visible one — every charge lands on exactly one
+    cluster-adopted meter, never two.
+    """
+
+    name = "RangeView"
+    is_adapter = True
+
+    def __init__(self, children: Sequence[OrderedIndex],
+                 boundaries: Sequence[Key],
+                 meter: Optional[CostMeter] = None) -> None:
+        if len(children) != len(boundaries) + 1:
+            raise ValueError("need len(children) == len(boundaries) + 1")
+        super().__init__(meter=meter)
+        self.children: List[OrderedIndex] = list(children)
+        self.boundaries: List[Key] = list(boundaries)
+        self.supports_delete = all(c.supports_delete for c in children)
+        self.supports_range = all(c.supports_range for c in children)
+        self.supports_duplicates = False
+
+    @contextmanager
+    def _lend(self, child: OrderedIndex) -> Iterator[OrderedIndex]:
+        saved = child.meter
+        child.meter = self.meter
+        try:
+            yield child
+        finally:
+            child.meter = saved
+
+    def _child_for(self, key: Key) -> OrderedIndex:
+        return self.children[bisect.bisect_right(self.boundaries, key)]
+
+    def _mirror(self, child: OrderedIndex, prev: Any) -> None:
+        if child.last_op is not prev:
+            self.last_op = child.last_op
+
+    # -- OrderedIndex ----------------------------------------------------------
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self.check_sorted(items)
+        keys = [k for k, _ in items]
+        cuts = ([0] + [bisect.bisect_left(keys, b) for b in self.boundaries]
+                + [len(items)])
+        for i, child in enumerate(self.children):
+            with self._lend(child):
+                child.bulk_load(list(items[cuts[i]:cuts[i + 1]]))
+        self._invalidate_batch_cache()
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        child = self._child_for(key)
+        with self._lend(child):
+            prev = child.last_op
+            value = child.lookup(key)
+        self._mirror(child, prev)
+        return value
+
+    def insert(self, key: Key, value: Value) -> bool:
+        child = self._child_for(key)
+        with self._lend(child):
+            prev = child.last_op
+            ok = child.insert(key, value)
+        self._mirror(child, prev)
+        return ok
+
+    def update(self, key: Key, value: Value) -> bool:
+        child = self._child_for(key)
+        with self._lend(child):
+            prev = child.last_op
+            ok = child.update(key, value)
+        self._mirror(child, prev)
+        return ok
+
+    def delete(self, key: Key) -> bool:
+        child = self._child_for(key)
+        with self._lend(child):
+            prev = child.last_op
+            ok = child.delete(key)
+        self._mirror(child, prev)
+        return ok
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        out: List[Tuple[Key, Value]] = []
+        sid = bisect.bisect_right(self.boundaries, start)
+        cont = start
+        while len(out) < count and sid < len(self.children):
+            child = self.children[sid]
+            with self._lend(child):
+                prev = child.last_op
+                rows = child.range_scan(cont, count - len(out))
+            self._mirror(child, prev)
+            out.extend(rows)
+            if rows:
+                cont = rows[-1][0] + 1
+            sid += 1
+        return out
+
+    def _invalidate_batch_cache(self) -> None:
+        super()._invalidate_batch_cache()
+        for child in self.children:
+            child._invalidate_batch_cache()
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self.children)
+
+    def memory_usage(self) -> MemoryBreakdown:
+        out = MemoryBreakdown(
+            metadata=len(self.boundaries) * KEY_BYTES
+            + len(self.children) * POINTER_BYTES)
+        for child in self.children:
+            mem = child.memory_usage()
+            out.inner += mem.inner
+            out.leaf += mem.leaf
+            out.metadata += mem.metadata
+        return out
+
+    def debug_validate(self) -> List[Any]:
+        out: List[Any] = []
+        for child in self.children:
+            out.extend(child.debug_validate())
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Sharded index: the data plane
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Rebalance:
+    """One in-flight split or merge, executed as a live migration."""
+
+    kind: str  # "split" | "merge"
+    #: The slot instance currently holding the multiplexer.
+    instance: IndexInstance
+    mux: MultiplexIndex
+    #: Split key (split) / removed boundary (merge) — the abort restore point.
+    mid: Key
+    #: Migration targets: two halves (split) or one combined index (merge).
+    children: List[OrderedIndex]
+    #: Merge only: the two neighbor instances absorbed into the slot.
+    retired_instances: List[IndexInstance] = field(default_factory=list)
+    done: bool = False
+    aborted: bool = False
+
+
+class ShardedIndex(OrderedIndex):
+    """N range-partitioned shard instances behind one ``OrderedIndex``.
+
+    ``factory`` is a registry index name or a zero-arg index factory;
+    every shard is an independent instance of it.  ``bulk_load``
+    partitions the sorted items at equal-population boundaries (or at a
+    caller-provided :class:`ShardMap`); scalar ops route by binary
+    search, batch ops partition the key array per shard so each shard's
+    vectorized path sees one contiguous sub-batch, and ``range_scan``
+    stitches across neighbors.
+
+    Rebalancing (:meth:`begin_split` / :meth:`begin_merge` /
+    :meth:`finish_rebalance` / :meth:`abort_rebalance`) reuses the live
+    migration machinery; the slot keeps admitting every op kind for the
+    whole rebalance (SERVING and MIGRATING both admit all ops), which is
+    the zero-downtime guarantee the router's report pins down.
+    """
+
+    name = "Sharded"
+    is_adapter = True
+
+    def __init__(self, factory: Any, n_shards: int = 4,
+                 shard_map: Optional[ShardMap] = None,
+                 chunk: int = 128) -> None:
+        if isinstance(factory, str):
+            factory = REGISTRY.get(factory).factory
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        super().__init__(meter=ClusterMeter())
+        self.factory: Callable[[], OrderedIndex] = factory
+        probe = factory()
+        if not probe.supports_range:
+            raise ValueError(
+                f"{probe.name} cannot be sharded: split/merge backfill "
+                "needs range_scan support")
+        self.inner_name = probe.name
+        self.name = f"Sharded[{probe.name}]"
+        self.is_learned = probe.is_learned
+        self.supports_delete = probe.supports_delete
+        self.supports_range = True
+        self.supports_duplicates = False
+        self.chunk = chunk
+        self.map = shard_map if shard_map is not None else ShardMap()
+        self._want_shards = n_shards
+        self.shards: List[IndexInstance] = []
+        self.bus: Optional[Any] = None
+        self._serial = 0
+        self.splits = 0
+        self.merges = 0
+        self.cutover_stall_ops = 0
+
+    # -- construction ----------------------------------------------------------
+
+    def _new_instance(self) -> IndexInstance:
+        index = self.factory()
+        self.meter.adopt(index.meter)
+        self._serial += 1
+        inst = IndexInstance(index, name=f"{self.inner_name}/s{self._serial}")
+        if self.bus is not None:
+            inst.attach_bus(self.bus)
+        return inst
+
+    def _wrap_serving(self, index: OrderedIndex) -> IndexInstance:
+        """A SERVING instance around an already-adopted, already-loaded
+        index (the landing slot of a finished rebalance)."""
+        self._serial += 1
+        inst = IndexInstance(index, name=f"{self.inner_name}/s{self._serial}",
+                             state=SERVING)
+        if self.bus is not None:
+            inst.attach_bus(self.bus)
+        return inst
+
+    def attach_bus(self, bus: Any) -> "ShardedIndex":
+        """Relay every shard's lifecycle events into an event bus."""
+        self.bus = bus
+        for inst in self.shards:
+            inst.attach_bus(bus)
+        return self
+
+    def bulk_load(self, items: Sequence[Tuple[Key, Value]]) -> None:
+        self.check_sorted(items)
+        self.shards = []
+        if not self.map.boundaries and self._want_shards > 1 and items:
+            self.map = ShardMap.from_items(items, self._want_shards)
+        keys = [k for k, _ in items]
+        cuts = ([0] + [bisect.bisect_left(keys, b) for b in self.map.boundaries]
+                + [len(items)])
+        for i in range(len(self.map.boundaries) + 1):
+            inst = self._new_instance()
+            inst.bulk_load(list(items[cuts[i]:cuts[i + 1]]))
+            self.shards.append(inst)
+        self._invalidate_batch_cache()
+
+    def _ensure_shards(self) -> None:
+        if not self.shards:
+            self.bulk_load([])
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route(self, key: Key) -> int:
+        """Owning shard id; charges the binary-search comparisons."""
+        bl = self.map.boundaries
+        if bl:
+            self.meter.charge(KEY_COMPARE, len(bl).bit_length())
+        return bisect.bisect_right(bl, key)
+
+    def _shard_for(self, key: Key) -> IndexInstance:
+        self._ensure_shards()
+        return self.shards[self._route(key)]
+
+    def _mirror(self, index: OrderedIndex, prev: Any) -> None:
+        if index.last_op is not prev:
+            self.last_op = index.last_op
+
+    # -- OrderedIndex: scalar ops ----------------------------------------------
+
+    def lookup(self, key: Key) -> Optional[Value]:
+        index = self._shard_for(key).index
+        prev = index.last_op
+        value = index.lookup(key)
+        self._mirror(index, prev)
+        return value
+
+    def insert(self, key: Key, value: Value) -> bool:
+        index = self._shard_for(key).index
+        prev = index.last_op
+        ok = index.insert(key, value)
+        self._mirror(index, prev)
+        return ok
+
+    def update(self, key: Key, value: Value) -> bool:
+        index = self._shard_for(key).index
+        prev = index.last_op
+        ok = index.update(key, value)
+        self._mirror(index, prev)
+        return ok
+
+    def delete(self, key: Key) -> bool:
+        index = self._shard_for(key).index
+        prev = index.last_op
+        ok = index.delete(key)
+        self._mirror(index, prev)
+        return ok
+
+    def range_scan(self, start: Key, count: int) -> List[Tuple[Key, Value]]:
+        self._ensure_shards()
+        out: List[Tuple[Key, Value]] = []
+        sid = self._route(start)
+        cont = start
+        while len(out) < count and sid < len(self.shards):
+            index = self.shards[sid].index
+            prev = index.last_op
+            rows = index.range_scan(cont, count - len(out))
+            self._mirror(index, prev)
+            out.extend(rows)
+            if rows:
+                cont = rows[-1][0] + 1
+            sid += 1
+        return out
+
+    # -- OrderedIndex: batch ops (partitioned per shard) -----------------------
+
+    def _partition(self, keys: Sequence[Key]) -> Tuple[Dict[int, List[int]], int]:
+        """Positions per owning shard, preserving stream order within
+        each shard, plus the final key's owner (for ``last_op``)."""
+        buckets: Dict[int, List[int]] = {}
+        owner_last = 0
+        for pos, key in enumerate(keys):
+            sid = self._route(key)
+            buckets.setdefault(sid, []).append(pos)
+            owner_last = sid
+        return buckets, owner_last
+
+    def lookup_many(self, keys: Sequence[Key],
+                    records: Optional[List[Optional[Any]]] = None,
+                    ) -> List[Optional[Value]]:
+        self._ensure_shards()
+        if not keys:
+            return []
+        buckets, owner_last = self._partition(keys)
+        values: List[Optional[Value]] = [None] * len(keys)
+        recs: Optional[List[Optional[Any]]] = (
+            [None] * len(keys) if records is not None else None)
+        for sid in sorted(buckets):
+            positions = buckets[sid]
+            index = self.shards[sid].index
+            sub = [keys[p] for p in positions]
+            sub_records: Optional[List[Optional[Any]]] = (
+                [] if records is not None else None)
+            sub_values = index.lookup_many(sub, records=sub_records)
+            for p, v in zip(positions, sub_values):
+                values[p] = v
+            if recs is not None and sub_records is not None:
+                for p, r in zip(positions, sub_records):
+                    recs[p] = r
+        self.last_op = self.shards[owner_last].index.last_op
+        if records is not None and recs is not None:
+            records.extend(recs)
+        return values
+
+    def insert_many(self, pairs: Sequence[Tuple[Key, Value]],
+                    records: Optional[List[Optional[Any]]] = None,
+                    ) -> List[bool]:
+        self._ensure_shards()
+        if not pairs:
+            return []
+        buckets, owner_last = self._partition([k for k, _ in pairs])
+        results: List[bool] = [False] * len(pairs)
+        recs: Optional[List[Optional[Any]]] = (
+            [None] * len(pairs) if records is not None else None)
+        for sid in sorted(buckets):
+            positions = buckets[sid]
+            index = self.shards[sid].index
+            sub = [pairs[p] for p in positions]
+            sub_records: Optional[List[Optional[Any]]] = (
+                [] if records is not None else None)
+            sub_results = index.insert_many(sub, records=sub_records)
+            for p, ok in zip(positions, sub_results):
+                results[p] = ok
+            if recs is not None and sub_records is not None:
+                for p, r in zip(positions, sub_records):
+                    recs[p] = r
+        self.last_op = self.shards[owner_last].index.last_op
+        if records is not None and recs is not None:
+            records.extend(recs)
+        return results
+
+    def _invalidate_batch_cache(self) -> None:
+        super()._invalidate_batch_cache()
+        for inst in self.shards:
+            inst.index._invalidate_batch_cache()
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(inst.index) for inst in self.shards)
+
+    def memory_usage(self) -> MemoryBreakdown:
+        out = MemoryBreakdown(
+            metadata=len(self.map.boundaries) * KEY_BYTES
+            + len(self.shards) * POINTER_BYTES)
+        for inst in self.shards:
+            mem = inst.index.memory_usage()
+            out.inner += mem.inner
+            out.leaf += mem.leaf
+            out.metadata += mem.metadata
+        return out
+
+    def debug_validate(self) -> List[Any]:
+        from repro.core.validate import Violation
+
+        out: List[Any] = []
+        for i in range(1, len(self.map.boundaries)):
+            if self.map.boundaries[i - 1] >= self.map.boundaries[i]:
+                out.append(Violation(0, "shard.map-unsorted",
+                                     f"boundaries out of order at {i}"))
+        if self.shards and len(self.shards) != len(self.map.boundaries) + 1:
+            out.append(Violation(
+                0, "shard.count-mismatch",
+                f"{len(self.shards)} shards for "
+                f"{len(self.map.boundaries)} boundaries"))
+        for inst in self.shards:
+            out.extend(inst.index.debug_validate())
+        return out
+
+    def status(self) -> dict:
+        return {
+            "name": self.name,
+            "map": self.map.to_dict(),
+            "splits": self.splits,
+            "merges": self.merges,
+            "cutover_stall_ops": self.cutover_stall_ops,
+            "shards": [inst.status() for inst in self.shards],
+        }
+
+    # -- rebalancing: split / merge as live migrations -------------------------
+
+    def _overhead_meter(self) -> CostMeter:
+        return self.meter.adopt(CostMeter(self.meter.weights))
+
+    def begin_split(self, sid: int) -> Rebalance:
+        """Start migrating shard ``sid`` into two halves (live)."""
+        inst = self.shards[sid]
+        if isinstance(inst.index, MultiplexIndex):
+            raise RuntimeError(f"shard {inst.name} is already rebalancing")
+        primary = inst.index
+        n = len(primary)
+        if n < 2:
+            raise ValueError(f"shard {inst.name} too small to split ({n} keys)")
+        overhead = self._overhead_meter()
+        lo, _ = self.map.range_of(sid)
+        # Median scan is rebalancing overhead, not client traffic.
+        saved = primary.meter
+        primary.meter = overhead
+        try:
+            half = primary.range_scan(lo if lo is not None else 0, n // 2 + 1)
+        finally:
+            primary.meter = saved
+        mid = half[-1][0]
+        left, right = self.factory(), self.factory()
+        self.meter.adopt(left.meter)
+        self.meter.adopt(right.meter)
+        view = _RangeView([left, right], [mid], meter=overhead)
+        mux = MultiplexIndex(primary, view, chunk=self.chunk, pump_per_op=1)
+        inst.advance(MIGRATING, f"splitting at key {mid}")
+        mux.progress_sink = inst.note_backfill
+        inst.status_probe = mux.status
+        inst.index = mux
+        self._invalidate_batch_cache()
+        return Rebalance("split", inst, mux, mid, [left, right])
+
+    def begin_merge(self, sid: int) -> Rebalance:
+        """Start merging shards ``sid`` and ``sid+1`` into one (live).
+
+        The two slots collapse into one combined instance immediately
+        (a range view over both neighbors multiplexed with the fresh
+        target), so routing sees the merged range at once while the
+        backfill copies into the target in the background.
+        """
+        if sid >= len(self.shards) - 1:
+            raise IndexError(f"cannot merge shard {sid}: no right neighbor")
+        a, b = self.shards[sid], self.shards[sid + 1]
+        for neighbor in (a, b):
+            if isinstance(neighbor.index, MultiplexIndex):
+                raise RuntimeError(
+                    f"shard {neighbor.name} is already rebalancing")
+        boundary = self.map.boundaries[sid]
+        overhead = self._overhead_meter()
+        view = _RangeView([a.index, b.index], [boundary], meter=overhead)
+        target = self.factory()
+        self.meter.adopt(target.meter)
+        mux = MultiplexIndex(view, target, chunk=self.chunk, pump_per_op=1)
+        a.advance(MIGRATING, f"merging into combined shard with {b.name}")
+        b.advance(MIGRATING, f"merging into combined shard with {a.name}")
+        self._serial += 1
+        combined = IndexInstance(
+            mux, name=f"{self.inner_name}/s{self._serial}", state=SERVING)
+        if self.bus is not None:
+            combined.attach_bus(self.bus)
+        combined.advance(MIGRATING, f"absorbing {a.name} + {b.name}")
+        mux.progress_sink = combined.note_backfill
+        combined.status_probe = mux.status
+        self.shards[sid:sid + 2] = [combined]
+        del self.map.boundaries[sid]
+        self._invalidate_batch_cache()
+        return Rebalance("merge", combined, mux, boundary, [target],
+                         retired_instances=[a, b])
+
+    def finish_rebalance(self, rb: Rebalance) -> List[IndexInstance]:
+        """Cut over a READY/DONE rebalance; returns the new shard slots."""
+        mux = rb.mux
+        if mux.phase == READY:
+            mux.cutover()
+        if mux.phase != DONE:
+            raise RuntimeError(
+                f"rebalance not ready to finish (phase={mux.phase!r})")
+        sid = self.shards.index(rb.instance)
+        self.cutover_stall_ops += mux.cutover_stall_ops
+        rb.instance.status_probe = None
+        if rb.kind == "split":
+            new_insts = [self._wrap_serving(child) for child in rb.children]
+            self.shards[sid:sid + 1] = new_insts
+            self.map.boundaries.insert(sid, rb.mid)
+            rb.instance.advance(DRAINING, "split cut over")
+            rb.instance.advance(RETIRED, "split complete")
+            self.splits += 1
+        else:
+            new_insts = [self._wrap_serving(rb.children[0])]
+            self.shards[sid:sid + 1] = new_insts
+            for inst in rb.retired_instances:
+                inst.advance(RETIRED, "merged away")
+            rb.instance.advance(DRAINING, "merge cut over")
+            rb.instance.advance(RETIRED, "merge complete")
+            self.merges += 1
+        if self.bus is not None:
+            self.bus.publish(
+                "cutover", source=rb.instance.name,
+                t_ns=self.meter.total_time(), op_seq=mux.cutover_seq,
+                rebalance=rb.kind)
+        rb.done = True
+        self._invalidate_batch_cache()
+        return new_insts
+
+    def abort_rebalance(self, rb: Rebalance) -> None:
+        """Roll a diverged/unwanted rebalance back to the prior layout."""
+        mux = rb.mux
+        if mux.phase == DONE:
+            raise RuntimeError("cannot abort a finished rebalance")
+        mux.abort()
+        sid = self.shards.index(rb.instance)
+        rb.instance.status_probe = None
+        if rb.kind == "split":
+            rb.instance.index = mux.primary
+            rb.instance.advance(SERVING, "split aborted")
+        else:
+            a, b = rb.retired_instances
+            self.shards[sid:sid + 1] = [a, b]
+            self.map.boundaries.insert(sid, rb.mid)
+            a.advance(SERVING, "merge aborted")
+            b.advance(SERVING, "merge aborted")
+            rb.instance.advance(RETIRED, "merge aborted")
+        rb.aborted = True
+        self._invalidate_batch_cache()
+
+
+# ---------------------------------------------------------------------------
+# Router control plane: per-shard SLO tracking + hotspot rebalancing
+# ---------------------------------------------------------------------------
+
+class _ShardClock:
+    """Meter facade reading a shard slot's *current* index meter.
+
+    A rebalancing slot swaps its inner index (plain -> multiplexer ->
+    plain); reading ``inst.index.meter`` at call time keeps the shard's
+    SLO tracker on whatever clock is serving the slot right now.
+    """
+
+    def __init__(self, inst: IndexInstance) -> None:
+        self._inst = inst
+
+    def total_time(self) -> float:
+        return self._inst.index.meter.total_time()
+
+
+class _ShardProbe:
+    """Duck-typed ``index`` argument for a per-shard SLO tracker."""
+
+    def __init__(self, inst: IndexInstance) -> None:
+        self.name = inst.name
+        self.meter = _ShardClock(inst)
+
+
+def _apply_op(index: OrderedIndex, op: Any) -> Tuple[bool, int, Any]:
+    """Execute one workload op with the engine's dispatch semantics."""
+    kind = op.op
+    if kind == LOOKUP:
+        value = index.lookup(op.key)
+        return value is not None, 0, value
+    if kind == INSERT:
+        return bool(index.insert(op.key, op.value)), 0, None
+    if kind == UPDATE:
+        return bool(index.update(op.key, op.value)), 0, None
+    if kind == DELETE:
+        return bool(index.delete(op.key)), 0, None
+    if kind == SCAN:
+        rows = index.range_scan(op.key, op.count)
+        return True, len(rows), rows
+    raise ValueError(f"unknown op kind {kind!r}")
+
+
+@dataclass
+class RouterReport:
+    """Everything one routed replay produced."""
+
+    n_ops: int
+    rejected: int
+    splits: int
+    merges: int
+    aborted: int
+    cutover_stall_ops: int
+    shards_final: int
+    wall_seconds: float
+    oracle_ok: Optional[bool]
+    #: Control-plane decisions, in order.
+    events: List[dict]
+    #: Cluster-level SLO windows (the p99 time series).
+    cluster_windows: List[dict]
+    #: Per-shard tracker summaries (live and retired slots).
+    shard_summaries: Dict[str, dict]
+
+    def p99_series(self, op_kind: str = LOOKUP) -> List[float]:
+        out = []
+        for window in self.cluster_windows:
+            entry = window["ops_kinds"].get(op_kind)
+            if entry is not None:
+                out.append(entry["p99"])
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "n_ops": self.n_ops, "rejected": self.rejected,
+            "splits": self.splits, "merges": self.merges,
+            "aborted": self.aborted,
+            "cutover_stall_ops": self.cutover_stall_ops,
+            "shards_final": self.shards_final,
+            "wall_seconds": self.wall_seconds,
+            "oracle_ok": self.oracle_ok,
+            "events": list(self.events),
+            "lookup_p99_series": self.p99_series(),
+            "shard_summaries": dict(self.shard_summaries),
+        }
+
+
+class ShardRouter:
+    """Watches per-shard traffic + SLO windows; splits hot, merges cold.
+
+    Every ``window_ops`` routed operations the router takes one control
+    decision:
+
+    * an in-flight rebalance gets pumped (up to ``pump_budget`` keys)
+      and finished/aborted when it reaches READY/FAILED,
+    * else the hottest shard — window share above ``hot_factor`` times
+      the fair share, at least ``min_split_keys`` keys — begins a split,
+    * else the coldest adjacent pair of plain shards — combined share at
+      or below ``cold_factor`` of *their* fair share (two shards) —
+      begins a merge.
+
+    All ops keep flowing through the sharded index while rebalances are
+    in flight (admission is checked and counted, never expected to
+    reject: SERVING and MIGRATING both admit everything), which is the
+    measured zero-downtime claim in :class:`RouterReport`.
+    """
+
+    def __init__(self, sharded: ShardedIndex, window_ops: int = 512,
+                 hot_factor: float = 2.0, cold_factor: float = 0.35,
+                 min_split_keys: int = 512, max_shards: int = 16,
+                 min_shards: int = 1, pump_budget: int = 4096,
+                 slo_window: int = 256, bus: Optional[Any] = None) -> None:
+        if window_ops < 1:
+            raise ValueError("window_ops must be >= 1")
+        self.sharded = sharded
+        self.window_ops = window_ops
+        self.hot_factor = hot_factor
+        self.cold_factor = cold_factor
+        self.min_split_keys = min_split_keys
+        self.max_shards = max_shards
+        self.min_shards = min_shards
+        self.pump_budget = pump_budget
+        self.slo_window = slo_window
+        self.bus = bus
+        self.cluster = SLOTracker(window_ops=slo_window, bus=bus)
+        self.trackers: Dict[str, SLOTracker] = {}
+        #: Every tracker ever opened, retained past retirement so a
+        #: post-run cluster view (``repro top --shards``) can aggregate
+        #: the full shard history, not just the survivors.
+        self.all_trackers: Dict[str, SLOTracker] = {}
+        self._probes: Dict[str, _ShardProbe] = {}
+        self.retired_summaries: Dict[str, dict] = {}
+        self.active: Optional[Rebalance] = None
+        self.events: List[dict] = []
+        self.aborted = 0
+        self._workload: Optional[Workload] = None
+        self._seq = 0
+
+    # -- tracker lifecycle -----------------------------------------------------
+
+    def _track(self, inst: IndexInstance) -> None:
+        probe = _ShardProbe(inst)
+        tracker = SLOTracker(window_ops=self.slo_window, bus=self.bus)
+        tracker.on_phase("measure", probe, self._workload)
+        self.trackers[inst.name] = tracker
+        self.all_trackers[inst.name] = tracker
+        self._probes[inst.name] = probe
+
+    def _untrack(self, inst: IndexInstance) -> None:
+        tracker = self.trackers.pop(inst.name, None)
+        probe = self._probes.pop(inst.name, None)
+        if tracker is not None and probe is not None:
+            tracker.on_phase("done", probe, self._workload)
+            self.retired_summaries[inst.name] = tracker.summary()
+
+    def _log(self, decision: str, **details: Any) -> None:
+        event = {"decision": decision, "ops_seen": self._seq,
+                 "t_ns": self.sharded.meter.total_time(), **details}
+        self.events.append(event)
+
+    # -- control decisions -----------------------------------------------------
+
+    def _pump_active(self) -> None:
+        rb = self.active
+        assert rb is not None
+        mux = rb.mux
+        budget = self.pump_budget
+        while budget > 0 and mux.phase not in (READY, DONE, FAILED):
+            budget -= max(mux.pump(), 1)
+        if mux.phase in (READY, DONE):
+            self._finish_active()
+        elif mux.phase == FAILED:
+            self._abort_active()
+
+    def _finish_active(self) -> None:
+        rb = self.active
+        assert rb is not None
+        # Close trackers on the outgoing slots *before* the cutover swaps
+        # their clocks, so no tracker ever sees a non-monotonic reading.
+        self._untrack(rb.instance)
+        new_insts = self.sharded.finish_rebalance(rb)
+        for inst in new_insts:
+            self._track(inst)
+        self._log("rebalance_finished", kind=rb.kind,
+                  new_shards=[inst.name for inst in new_insts],
+                  n_shards=len(self.sharded.shards),
+                  cutover_seq=rb.mux.cutover_seq)
+        self.active = None
+
+    def _abort_active(self) -> None:
+        rb = self.active
+        assert rb is not None
+        self._untrack(rb.instance)
+        self.sharded.abort_rebalance(rb)
+        if rb.kind == "split":
+            self._track(rb.instance)
+        else:
+            for inst in rb.retired_instances:
+                self._track(inst)
+        self.aborted += 1
+        self._log("rebalance_aborted", kind=rb.kind,
+                  divergences=len(rb.mux.divergences))
+        self.active = None
+
+    def _maintain(self, win: Dict[int, int]) -> None:
+        sharded = self.sharded
+        if self.active is not None:
+            self._pump_active()
+            return
+        total = sum(win.values())
+        n = len(sharded.shards)
+        if not total or not n:
+            return
+        fair = total / n
+        hot_sid = max(win, key=lambda sid: win[sid])
+        hot_inst = sharded.shards[hot_sid]
+        if (win[hot_sid] > self.hot_factor * fair
+                and n < self.max_shards
+                and len(hot_inst.index) >= self.min_split_keys
+                and not isinstance(hot_inst.index, MultiplexIndex)):
+            rb = sharded.begin_split(hot_sid)
+            self.active = rb
+            self._log("split_started", shard=hot_inst.name,
+                      window_share=win[hot_sid] / total, split_key=rb.mid)
+            return
+        if n <= self.min_shards:
+            return
+        best: Optional[Tuple[int, int]] = None
+        for sid in range(n - 1):
+            a, b = sharded.shards[sid], sharded.shards[sid + 1]
+            if (isinstance(a.index, MultiplexIndex)
+                    or isinstance(b.index, MultiplexIndex)):
+                continue
+            share = win.get(sid, 0) + win.get(sid + 1, 0)
+            if best is None or share < best[1]:
+                best = (sid, share)
+        if best is not None and best[1] <= self.cold_factor * 2 * fair:
+            sid = best[0]
+            pair = (sharded.shards[sid].name, sharded.shards[sid + 1].name)
+            rb = sharded.begin_merge(sid)
+            self.active = rb
+            self._untrack(rb.retired_instances[0])
+            self._untrack(rb.retired_instances[1])
+            self._track(rb.instance)
+            self._log("merge_started", shards=list(pair),
+                      window_share=best[1] / total)
+
+    # -- the replay loop -------------------------------------------------------
+
+    def run(self, workload: Workload,
+            oracle: Optional[Any] = None) -> RouterReport:
+        """Route every op of ``workload``, rebalancing as traffic skews."""
+        t0 = time.perf_counter()
+        sharded = self.sharded
+        self._workload = workload
+        if not sharded.shards:
+            sharded.bulk_load(workload.bulk_items)
+        if self.bus is not None and sharded.bus is None:
+            sharded.attach_bus(self.bus)
+        self.cluster.on_phase("measure", sharded, workload)
+        for inst in sharded.shards:
+            self._track(inst)
+        if oracle is not None:
+            oracle.on_phase("measure", None, workload)
+        rejected = 0
+        self._seq = 0
+        win: Dict[int, int] = {}
+        win_ops = 0
+        for op in workload.operations:
+            sid = sharded.map.route(op.key)
+            inst = sharded.shards[sid]
+            if not inst.admits(op.op):
+                rejected += 1  # never expected: SERVING/MIGRATING admit all
+                continue
+            prev = sharded.last_op
+            ok, scanned, result = _apply_op(sharded, op)
+            record = sharded.last_op if sharded.last_op is not prev else None
+            event = OpEvent(seq=self._seq, op=op, record=record, ok=ok,
+                            scanned=scanned, result=result)
+            self.cluster.on_op(event, None)
+            tracker = self.trackers.get(inst.name)
+            if tracker is not None:
+                tracker.on_op(event, None)
+            inst.on_op(event, None)
+            if oracle is not None:
+                oracle.on_op(event, None)
+            if (record is not None and record.smo
+                    and op.op in (INSERT, DELETE)):
+                self.cluster.on_smo(event)
+                if tracker is not None:
+                    tracker.on_smo(event)
+                inst.on_smo(event)
+            self._seq += 1
+            win[sid] = win.get(sid, 0) + 1
+            win_ops += 1
+            if win_ops >= self.window_ops:
+                self._maintain(win)
+                win = {}
+                win_ops = 0
+        # Drain any in-flight rebalance to completion.
+        while self.active is not None:
+            self._pump_active()
+        self.cluster.on_phase("done", sharded, workload)
+        for inst in list(sharded.shards):
+            self._untrack(inst)
+        summaries = dict(self.retired_summaries)
+        return RouterReport(
+            n_ops=self._seq,
+            rejected=rejected,
+            splits=sharded.splits,
+            merges=sharded.merges,
+            aborted=self.aborted,
+            cutover_stall_ops=sharded.cutover_stall_ops,
+            shards_final=len(sharded.shards),
+            wall_seconds=time.perf_counter() - t0,
+            oracle_ok=(oracle.ok if oracle is not None else None),
+            events=list(self.events),
+            cluster_windows=list(self.cluster.windows),
+            shard_summaries=summaries,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Determinism contract: value fingerprints over routed streams
+# ---------------------------------------------------------------------------
+
+class ResultHasher(ExecutionObserver):
+    """Folds every op's observable outcome into one SHA-256.
+
+    Two runs with equal digests returned byte-identical values for every
+    operation — the sharded-vs-unsharded parity gate. Costs and
+    latencies are deliberately excluded (sharding *changes* them; that
+    is the point)."""
+
+    def __init__(self) -> None:
+        self._sha = hashlib.sha256()
+        self.n_ops = 0
+
+    def on_op(self, event: OpEvent, latency: Optional[float]) -> None:
+        self._sha.update(
+            f"{event.seq}|{event.op.op}|{event.op.key}|{int(event.ok)}|"
+            f"{event.scanned}|{event.result!r}\n".encode())
+        self.n_ops += 1
+
+    @property
+    def digest(self) -> str:
+        return self._sha.hexdigest()
+
+
+def routed_fingerprint(target: Any, workload: Workload,
+                       **engine_options: Any) -> str:
+    """Value fingerprint of running ``workload`` against ``target``.
+
+    ``routed_fingerprint(ShardedIndex(f, k), wl) ==
+    routed_fingerprint(f(), wl)`` is the determinism contract: routing
+    must never change what any operation returns."""
+    hasher = ResultHasher()
+    observers = list(engine_options.pop("observers", ())) + [hasher]
+    execute(target, workload, observers=observers, **engine_options)
+    return hasher.digest
+
+
+# ---------------------------------------------------------------------------
+# Parallel shard execution (sweep-engine scheduling pattern)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShardBatchTask:
+    """One shard's lookup sub-stream, self-contained for a worker.
+
+    The worker regenerates the dataset from ``dataset`` (specs travel,
+    data does not — the sweep engine's rule), filters it to the shard's
+    ``[lo, hi)`` range, bulk loads a fresh index, and runs the lookups
+    in ``batch``-sized slices through ``lookup_many``."""
+
+    index: str
+    dataset: DatasetSpec
+    lo: Optional[Key]
+    hi: Optional[Key]
+    lookups: Tuple[Key, ...]
+    batch: int = 512
+
+    def describe(self) -> str:
+        return (f"{self.index} {self.dataset.name}/n{self.dataset.n} "
+                f"[{self.lo}, {self.hi}) x{len(self.lookups)}")
+
+
+#: Per-worker shard memo: loading dominates worker time, and a scaling
+#: sweep reuses the same shard across levels, so workers keep loaded
+#: shards keyed by (index, dataset, range) — same pattern as the sweep
+#: engine's per-process workload memo.
+_WORKER_SHARDS: Dict[Tuple[str, DatasetSpec, Optional[Key], Optional[Key]],
+                     OrderedIndex] = {}
+
+
+def _run_shard_batch(task: ShardBatchTask) -> dict:
+    memo_key = (task.index, task.dataset, task.lo, task.hi)
+    index = _WORKER_SHARDS.get(memo_key)
+    if index is None:
+        keys = task.dataset.keys()
+        part = [k for k in keys
+                if (task.lo is None or k >= task.lo)
+                and (task.hi is None or k < task.hi)]
+        index = REGISTRY.get(task.index).factory()
+        index.bulk_load([(k, payload(k)) for k in part])
+        _WORKER_SHARDS[memo_key] = index
+    busy0 = index.meter.total_time()
+    t0 = time.perf_counter()
+    sha = hashlib.sha256()
+    hits = 0
+    for i in range(0, len(task.lookups), task.batch):
+        chunk = list(task.lookups[i:i + task.batch])
+        for k, v in zip(chunk, index.lookup_many(chunk)):
+            if v is not None:
+                hits += 1
+            sha.update(f"{k}:{v!r};".encode())
+    return {
+        "task": task.describe(),
+        "n": len(task.lookups),
+        "hits": hits,
+        "fingerprint": sha.hexdigest(),
+        "busy_ns": index.meter.total_time() - busy0,
+        "wall_seconds": time.perf_counter() - t0,
+    }
+
+
+@dataclass
+class ShardBatchReport:
+    """All shard cells of one parallel execution, in task order."""
+
+    results: List[dict]
+    jobs: int
+    used_processes: bool
+    pool_error: str
+    wall_seconds: float
+
+    @property
+    def busy_ns(self) -> float:
+        return sum(r["busy_ns"] for r in self.results)
+
+    @property
+    def makespan_ns(self) -> float:
+        return max((r["busy_ns"] for r in self.results), default=0.0)
+
+    def fingerprints(self) -> List[str]:
+        return [r["fingerprint"] for r in self.results]
+
+
+def run_shard_batches(tasks: Sequence[ShardBatchTask],
+                      jobs: Optional[int] = None) -> ShardBatchReport:
+    """Execute every shard task, in parallel where possible.
+
+    Mirrors the sweep engine's scheduling contract: ``jobs <= 1`` (or a
+    single task) runs serially in-process; a pool failure (sandboxes
+    without process support) falls back to serial execution and records
+    ``pool_error`` instead of raising. Results are in task order and
+    value-fingerprinted, so parallel-vs-serial parity is one zip away.
+    """
+    jobs = resolve_jobs(jobs)
+    tasks = list(tasks)
+    t0 = time.perf_counter()
+    results: List[Optional[dict]] = [None] * len(tasks)
+    used_processes = False
+    pool_error = ""
+    if jobs <= 1 or len(tasks) <= 1:
+        for i, task in enumerate(tasks):
+            results[i] = _run_shard_batch(task)
+    else:
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(tasks))) as pool:
+                futures = {pool.submit(_run_shard_batch, task): i
+                           for i, task in enumerate(tasks)}
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending,
+                                         return_when=FIRST_COMPLETED)
+                    for future in done:
+                        results[futures[future]] = future.result()
+            used_processes = True
+        except (OSError, PermissionError) as exc:
+            pool_error = f"{type(exc).__name__}: {exc}"
+            for i, task in enumerate(tasks):
+                if results[i] is None:
+                    results[i] = _run_shard_batch(task)
+    return ShardBatchReport(
+        results=[r for r in results if r is not None],
+        jobs=jobs, used_processes=used_processes, pool_error=pool_error,
+        wall_seconds=time.perf_counter() - t0)
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks: multi-shard scaling + rebalance convergence
+# ---------------------------------------------------------------------------
+
+def _stream_fingerprint(index: OrderedIndex, stream: Sequence[Key],
+                        batch: int) -> Tuple[str, int]:
+    sha = hashlib.sha256()
+    hits = 0
+    for i in range(0, len(stream), batch):
+        chunk = list(stream[i:i + batch])
+        for k, v in zip(chunk, index.lookup_many(chunk)):
+            if v is not None:
+                hits += 1
+            sha.update(f"{k}:{v!r};".encode())
+    return sha.hexdigest(), hits
+
+
+def scaling_benchmark(index: str = "ALEX", dataset: str = "covid",
+                      n: int = 20000, lookups: int = 8000,
+                      shard_counts: Sequence[int] = (1, 2, 4, 8),
+                      theta: float = 0.99, seed: int = 0,
+                      batch: int = 512, jobs: int = 0) -> dict:
+    """Lookup-throughput scaling of one index across shard counts.
+
+    The same zipfian batch stream runs against every shard count.  Per
+    level the virtual clock yields two numbers: the *serial* cost (sum
+    over shards — what one core pays) and the *parallel* makespan (max
+    per-shard busy time + routing — what N cores pay).  Wall-clock is
+    measured through the process pool, with per-shard fingerprint
+    parity between the pool and serial runs, and every level's full
+    stream is fingerprint-checked against the unsharded index.
+    """
+    from repro.datasets.zipfian import ScrambledZipfian
+
+    spec = DatasetSpec(dataset, n, seed)
+    keys = spec.keys()
+    items = [(k, payload(k)) for k in keys]
+    zipf = ScrambledZipfian(keys, theta=theta, seed=seed)
+    stream = [zipf.next_key() for _ in range(lookups)]
+    reference = REGISTRY.get(index).factory()
+    reference.bulk_load(items)
+    ref_fp, ref_hits = _stream_fingerprint(reference, stream, batch)
+
+    levels: List[dict] = []
+    for count in shard_counts:
+        sharded = ShardedIndex(index, n_shards=count)
+        sharded.bulk_load(items)
+        busy0 = [inst.index.meter.total_time() for inst in sharded.shards]
+        total0 = sharded.meter.total_time()
+        routing0 = sharded.meter.routing_ns()
+        fp, _hits = _stream_fingerprint(sharded, stream, batch)
+        serial_ns = sharded.meter.total_time() - total0
+        routing_ns = sharded.meter.routing_ns() - routing0
+        busy = [inst.index.meter.total_time() - b0
+                for inst, b0 in zip(sharded.shards, busy0)]
+        makespan_ns = max(busy) + routing_ns
+        if fp != ref_fp:
+            raise AssertionError(
+                f"{count}-shard run diverged from the unsharded fingerprint")
+
+        tasks = []
+        for sid in range(len(sharded.shards)):
+            lo, hi = sharded.map.range_of(sid)
+            sub = tuple(k for k in stream if sharded.map.route(k) == sid)
+            tasks.append(ShardBatchTask(index=index, dataset=spec, lo=lo,
+                                        hi=hi, lookups=sub, batch=batch))
+        serial_pool = run_shard_batches(tasks, jobs=1)
+        want_jobs = min(count, resolve_jobs(jobs))
+        parallel_pool = run_shard_batches(tasks, jobs=max(want_jobs, 1))
+        pool_parity = (serial_pool.fingerprints()
+                       == parallel_pool.fingerprints())
+        if not pool_parity:
+            raise AssertionError(
+                f"{count}-shard pool run diverged from the serial run")
+        levels.append({
+            "shards": count,
+            "virtual_ns_serial": serial_ns,
+            "virtual_ns_parallel": makespan_ns,
+            "routing_ns": routing_ns,
+            "virtual_mops_serial": lookups * 1e3 / max(serial_ns, 1e-9),
+            "virtual_mops_parallel": lookups * 1e3 / max(makespan_ns, 1e-9),
+            "wall_serial_s": serial_pool.wall_seconds,
+            "wall_pool_s": parallel_pool.wall_seconds,
+            "pool_jobs": parallel_pool.jobs,
+            "pool_used_processes": parallel_pool.used_processes,
+            "pool_error": parallel_pool.pool_error,
+            "pool_parity": pool_parity,
+            "fingerprint_ok": True,
+        })
+    base, top = levels[0], levels[-1]
+    return {
+        "index": index, "dataset": dataset, "n": n, "lookups": lookups,
+        "theta": theta, "seed": seed, "batch": batch,
+        "hits": ref_hits,
+        "fingerprint": ref_fp,
+        "levels": levels,
+        "scaling_virtual": (top["virtual_mops_parallel"]
+                            / max(base["virtual_mops_parallel"], 1e-9)),
+        "virtual_mops_1shard": base["virtual_mops_parallel"],
+        "virtual_mops_max": top["virtual_mops_parallel"],
+    }
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2] if ordered else 0.0
+
+
+def rebalance_benchmark(index: str = "ALEX", dataset: str = "covid",
+                        n: int = 12000, ops: int = 10000, shards: int = 4,
+                        window_ops: int = 512, seed: int = 0,
+                        warm_frac: float = 0.15,
+                        **router_opts: Any) -> dict:
+    """p99 recovery after hotspot rebalancing under a moving-hotspot replay.
+
+    Runs :func:`~repro.core.workloads.moving_hotspot_workload` through a
+    :class:`ShardRouter` with the differential oracle attached.  The
+    pre-skew baseline is the median cluster lookup p99 over the warm
+    (uniform) segment's SLO windows; convergence means the post-replay
+    p99 is back within 2x of that baseline with at least one split, zero
+    cutover stalls, zero rejected ops, and a clean oracle.
+    """
+    from repro.core.opstream import DifferentialObserver
+    from repro.core.workloads import moving_hotspot_workload
+
+    spec = DatasetSpec(dataset, n, seed)
+    keys = spec.keys()
+    workload = moving_hotspot_workload(keys, n_ops=ops, warm_frac=warm_frac,
+                                       seed=seed)
+    sharded = ShardedIndex(index, n_shards=shards)
+    router = ShardRouter(sharded, window_ops=window_ops, **router_opts)
+    oracle = DifferentialObserver()
+    report = router.run(workload, oracle=oracle)
+    series = report.p99_series(LOOKUP)
+    warm_windows = max(1, int(ops * warm_frac) // router.slo_window)
+    pre = _median(series[:warm_windows]) if series else 0.0
+    post = _median(series[-min(3, len(series)):]) if series else 0.0
+    peak = max(series) if series else 0.0
+    ratio = post / pre if pre > 0 else float("inf")
+    return {
+        "index": index, "dataset": dataset, "n": n, "ops": ops,
+        "seed": seed, "window_ops": window_ops,
+        "shards_initial": shards,
+        "shards_final": report.shards_final,
+        "splits": report.splits,
+        "merges": report.merges,
+        "aborted": report.aborted,
+        "cutover_stall_ops": report.cutover_stall_ops,
+        "rejected_ops": report.rejected,
+        "oracle_ok": report.oracle_ok,
+        "pre_skew_p99_ns": pre,
+        "peak_p99_ns": peak,
+        "post_rebalance_p99_ns": post,
+        "p99_recovery_ratio": ratio,
+        "converged": bool(
+            report.splits >= 1 and ratio <= 2.0
+            and report.cutover_stall_ops == 0 and report.rejected == 0
+            and report.oracle_ok),
+        "slo_windows": len(series),
+        "wall_seconds": report.wall_seconds,
+        "decisions": report.events,
+    }

@@ -53,7 +53,8 @@ from repro.core.events import (
 from repro.core.report import table
 from repro.core.runner import ExecutionObserver, LatencyStats, OpEvent
 
-__all__ = ["Alert", "ControlTower", "SLOTarget", "SLOTracker"]
+__all__ = ["Alert", "ControlTower", "SLOTarget", "SLOTracker",
+           "cluster_view", "render_cluster_view"]
 
 SEVERITY_WARNING = "warning"
 SEVERITY_CRITICAL = "critical"
@@ -301,6 +302,76 @@ class SLOTracker(ExecutionObserver):
                 for a in self.alerts
             ],
         }
+
+
+# ---------------------------------------------------------------------------
+# Cluster view: many per-shard trackers folded into one summary
+# ---------------------------------------------------------------------------
+
+def cluster_view(trackers: Dict[str, "SLOTracker"],
+                 op_kind: str = "lookup") -> dict:
+    """Aggregate per-shard SLO trackers into one cluster summary.
+
+    ``trackers`` maps shard name to its :class:`SLOTracker` (live or
+    already closed).  The view reports, per shard, the latest window's
+    ``op_kind`` p99, cumulative error-budget burn, and alert counts —
+    plus the cluster's worst shard by p99, which is what a routing tier
+    pages on (the cluster is only as healthy as its hottest shard).
+    """
+    shards: Dict[str, dict] = {}
+    worst: Optional[tuple] = None
+    total_alerts = 0
+    for name in sorted(trackers):
+        tracker = trackers[name]
+        p99 = None
+        for window in reversed(tracker.windows):
+            entry = window["ops_kinds"].get(op_kind)
+            if entry is not None:
+                p99 = entry["p99"]
+                break
+        severities = [a.severity for a in tracker.alerts]
+        worst_severity = (SEVERITY_CRITICAL if SEVERITY_CRITICAL in severities
+                          else (severities[0] if severities else ""))
+        total_alerts += len(severities)
+        shards[name] = {
+            "p99_ns": p99,
+            "windows": len(tracker.windows),
+            "budget_used": tracker.budget_used(op_kind),
+            "alerts": len(severities),
+            "worst_severity": worst_severity,
+        }
+        if p99 is not None and (worst is None or p99 > worst[1]):
+            worst = (name, p99)
+    return {
+        "op_kind": op_kind,
+        "shards": shards,
+        "worst_shard": worst[0] if worst else None,
+        "worst_p99_ns": worst[1] if worst else None,
+        "total_alerts": total_alerts,
+    }
+
+
+def render_cluster_view(view: dict, title: str = "shard cluster") -> str:
+    """ASCII table for a :func:`cluster_view` summary."""
+    rows = []
+    for name, row in view["shards"].items():
+        alerts = (f"{row['alerts']} ({row['worst_severity']})"
+                  if row["alerts"] else "-")
+        rows.append([
+            name,
+            row["windows"],
+            f"{row['p99_ns']:.0f}" if row["p99_ns"] is not None else "-",
+            f"{row['budget_used']:.2f}",
+            alerts,
+        ])
+    out = table(["Shard", "Windows", "p99 ns", "Budget burn", "Alerts"],
+                rows, title=title)
+    worst = view["worst_shard"]
+    if worst is not None:
+        out += (f"\nworst shard: {worst} "
+                f"(p99 {view['worst_p99_ns']:.0f} ns, "
+                f"{view['op_kind']} windows)")
+    return out
 
 
 # ---------------------------------------------------------------------------

@@ -15,6 +15,8 @@ stream.  Builders mirror the paper's definitions, scaled by ``n``:
 * :func:`ycsb_workload` — YCSB A/B/C with scrambled-Zipfian key choice
   (updates only, no inserts — the reason LIPP+ scales again in
   Figure G).
+* :func:`moving_hotspot_workload` — a zipfian hot range drifting across
+  the keyspace (the sharded-serving rebalance replay).
 """
 
 from __future__ import annotations
@@ -317,6 +319,84 @@ def ycsb_workload(
         else:
             ops.append(Operation(UPDATE, k, payload(k) ^ 0xF0F0))
     return Workload("ycsb-F", _items(keys), ops, write_fraction=0.5)
+
+
+def moving_hotspot_workload(
+    keys: Sequence[int],
+    n_ops: Optional[int] = None,
+    phases: int = 4,
+    hot_frac: float = 0.05,
+    hot_ratio: float = 0.85,
+    insert_frac: float = 0.25,
+    warm_frac: float = 0.15,
+    theta: float = 0.99,
+    seed: int = 0,
+) -> Workload:
+    """A zipfian hot key range that drifts across the keyspace over time.
+
+    The sharded-serving rebalance replay: all ``keys`` bulk load, then
+
+    * a **warm** segment (``warm_frac`` of the ops) of uniform lookups —
+      the pre-skew baseline the rebalance benchmark compares against,
+    * ``phases`` hot segments.  Each phase pins a hot window of
+      ``hot_frac`` of the key range; the window's left edge drifts from
+      the bottom of the keyspace to the top across phases.  Within a
+      phase, ``hot_ratio`` of ops hit the window — scrambled-zipfian
+      lookups over its keys, with ``insert_frac`` of the hot ops
+      inserting *fresh* keys sampled inside the window (hot shards grow,
+      which is what makes splitting them worthwhile) — and the rest are
+      uniform background lookups,
+    * a tail of uniform lookups padding the stream to exactly ``n_ops``
+      (the post-rebalance cooldown the benchmark measures recovery on).
+
+    Deterministic per (``phases``, ``hot_frac``, ``seed``).
+    """
+    if phases < 1:
+        raise ValueError("phases must be >= 1")
+    if not 0.0 < hot_frac <= 1.0:
+        raise ValueError("hot_frac must be in (0, 1]")
+    if not 0.0 <= warm_frac < 1.0:
+        raise ValueError("warm_frac must be in [0, 1)")
+    rng = random.Random(f"hotspot-{phases}-{hot_frac}-{seed}")
+    loaded = sorted(keys)
+    if len(loaded) < 2:
+        raise ValueError("need at least 2 keys")
+    if n_ops is None:
+        n_ops = 2 * len(loaded)
+    present = set(loaded)
+    ops: List[Operation] = []
+
+    def uniform_lookup() -> Operation:
+        return Operation(LOOKUP, loaded[rng.randrange(len(loaded))])
+
+    warm_ops = int(n_ops * warm_frac)
+    ops.extend(uniform_lookup() for _ in range(warm_ops))
+
+    width = max(int(len(loaded) * hot_frac), 2)
+    phase_ops = (n_ops - warm_ops) // (phases + 1)  # leave a cooldown tail
+    for p in range(phases):
+        start = round(p * (len(loaded) - width) / max(phases - 1, 1))
+        window = loaded[start:start + width]
+        lo, hi = window[0], window[-1]
+        chooser = ScrambledZipfian(window, theta=theta,
+                                   seed=seed * 1000003 + p)
+        for _ in range(phase_ops):
+            if rng.random() >= hot_ratio:
+                ops.append(uniform_lookup())
+            elif rng.random() < insert_frac:
+                k = rng.randint(lo, hi)
+                while k in present:
+                    k += 1
+                present.add(k)
+                ops.append(Operation(INSERT, k, payload(k)))
+            else:
+                ops.append(Operation(LOOKUP, chooser.next_key()))
+    while len(ops) < n_ops:
+        ops.append(uniform_lookup())
+    write_fraction = (sum(1 for op in ops if op.op == INSERT)
+                      / max(len(ops), 1))
+    return Workload("moving-hotspot", _items(loaded), ops,
+                    write_fraction=write_fraction)
 
 
 #: The paper's five insert mixes, in heatmap order.

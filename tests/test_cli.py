@@ -423,3 +423,75 @@ def test_bench_history_gate_passes_then_fails_on_regression(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "FAIL" in captured.err and "dropped" in captured.err
     assert "regression(s)" in captured.err
+
+
+# -- sharded serving tier ------------------------------------------------------
+
+def test_list_command_shows_shard_capability(capsys):
+    code, out = _run(capsys, "list")
+    assert code == 0
+    assert "shard" in out
+    rmi_row = next(line for line in out.splitlines()
+                   if line.startswith("RMI"))
+    alex_row = next(line for line in out.splitlines()
+                    if line.startswith("ALEX "))
+    assert alex_row.count("x") > rmi_row.count("x")
+
+
+def test_shard_command_writes_bench_and_gates(tmp_path, capsys):
+    import json
+
+    out_path = str(tmp_path / "BENCH_shard.json")
+    code, out = _run(capsys, "shard", "--index", "B+tree",
+                     "--dataset", "covid", "--n", "5000",
+                     "--lookups", "2500", "--ops", "5000",
+                     "--shard-counts", "1,2,4",
+                     "--min-scaling", "1.5", "--out", out_path)
+    assert code == 0
+    assert "scaling" in out and "moving-hotspot replay" in out
+    with open(out_path) as f:
+        doc = json.load(f)
+    assert doc["scaling"]["scaling_virtual"] >= 1.5
+    assert doc["rebalance"]["converged"] is True
+    assert doc["rebalance"]["cutover_stall_ops"] == 0
+    assert [lv["shards"] for lv in doc["scaling"]["levels"]] == [1, 2, 4]
+    assert "git_rev" in doc and "schema_version" in doc  # provenance
+
+
+def test_shard_command_history_check(tmp_path, capsys):
+    hist = str(tmp_path / "hist.jsonl")
+    args = ["shard", "--index", "B+tree", "--dataset", "covid",
+            "--n", "4000", "--lookups", "2000", "--ops", "4000",
+            "--shard-counts", "1,2", "--out", "", "--history", hist]
+    code, _ = _run(capsys, *args)
+    assert code == 0
+    code, out = _run(capsys, *args, "--check")
+    assert code == 0
+    assert "no regressions" in out
+
+
+def test_shard_command_refuses_unshardable_index():
+    with pytest.raises(SystemExit, match="does not support sharding"):
+        main(["shard", "--index", "RMI", "--n", "500", "--ops", "100"])
+
+
+def test_top_shards_cluster_view(capsys):
+    code, out = _run(capsys, "top", "--shards", "2", "--index", "B+tree",
+                     "--workload", "hotspot", "--dataset", "covid",
+                     "--n", "3000", "--ops", "2500", "--once")
+    assert code == 0
+    assert "shard cluster" in out
+    assert "worst shard" in out
+    assert "B+tree/s1" in out
+
+
+def test_top_shards_json(capsys):
+    import json
+
+    code, out = _run(capsys, "top", "--shards", "2", "--index", "B+tree",
+                     "--workload", "hotspot", "--dataset", "covid",
+                     "--n", "3000", "--ops", "2500", "--json")
+    assert code == 0
+    doc = json.loads(out)
+    assert "tower" in doc and "cluster" in doc
+    assert len(doc["cluster"]["shards"]) >= 2

@@ -304,3 +304,42 @@ def test_live_subscription_matches_post_hoc_fold():
     replay = ControlTower.from_records(bus.events())
     assert live.to_json() == replay.to_json()
     assert live.rows["ALEX"]["ops"] == 600
+
+
+# -- cluster view (sharded serving tier) ---------------------------------------
+
+def test_cluster_view_aggregates_per_shard_trackers():
+    from repro.core.shard import ShardRouter, ShardedIndex
+    from repro.core.slo import cluster_view, render_cluster_view
+    from repro.core.workloads import moving_hotspot_workload
+
+    keys = sorted(random.Random(21).sample(range(1, 10_000_000), 2500))
+    wl = moving_hotspot_workload(keys, n_ops=2500, seed=1)
+    sharded = ShardedIndex("B+tree", n_shards=2)
+    router = ShardRouter(sharded, window_ops=512, slo_window=128)
+    router.run(wl)
+
+    view = cluster_view(router.all_trackers)
+    assert view["op_kind"] == LOOKUP
+    assert len(view["shards"]) == len(router.all_trackers) >= 2
+    p99s = [row["p99_ns"] for row in view["shards"].values()
+            if row["p99_ns"] is not None]
+    assert view["worst_p99_ns"] == max(p99s)
+    worst = view["worst_shard"]
+    assert view["shards"][worst]["p99_ns"] == view["worst_p99_ns"]
+    for row in view["shards"].values():
+        assert row["windows"] >= 1
+        assert row["budget_used"] >= 0.0
+
+    text = render_cluster_view(view)
+    assert "worst shard" in text
+    for name in view["shards"]:
+        assert name in text
+
+
+def test_cluster_view_empty_trackers():
+    from repro.core.slo import cluster_view, render_cluster_view
+
+    view = cluster_view({})
+    assert view["worst_shard"] is None and view["shards"] == {}
+    assert "worst shard" not in render_cluster_view(view)

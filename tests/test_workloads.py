@@ -10,6 +10,7 @@ from repro.core.workloads import (
     UPDATE,
     deletion_workload,
     mixed_workload,
+    moving_hotspot_workload,
     payload,
     scan_workload,
     shift_workload,
@@ -188,3 +189,59 @@ def test_load_workload_rejects_foreign_file(tmp_path):
 
     with pytest.raises(ValueError):
         load_workload(str(path))
+
+
+# -- moving hotspot (sharded serving tier) -------------------------------------
+
+def test_moving_hotspot_deterministic():
+    a = moving_hotspot_workload(KEYS, n_ops=2000, seed=4)
+    b = moving_hotspot_workload(KEYS, n_ops=2000, seed=4)
+    assert [(op.op, op.key) for op in a.operations] == \
+        [(op.op, op.key) for op in b.operations]
+    c = moving_hotspot_workload(KEYS, n_ops=2000, seed=5)
+    assert [(op.op, op.key) for op in a.operations] != \
+        [(op.op, op.key) for op in c.operations]
+
+
+def test_moving_hotspot_bulk_loads_everything_exactly_n_ops():
+    wl = moving_hotspot_workload(KEYS, n_ops=3000, seed=1)
+    assert wl.name == "moving-hotspot"
+    assert [k for k, _ in wl.bulk_items] == sorted(KEYS)
+    assert len(wl.operations) == 3000
+    counts = _op_counts(wl)
+    assert counts.get(LOOKUP, 0) + counts.get(INSERT, 0) == 3000
+    assert 0.0 < wl.write_fraction < 0.5
+
+
+def test_moving_hotspot_inserts_only_fresh_keys():
+    wl = moving_hotspot_workload(KEYS, n_ops=3000, seed=2)
+    present = {k for k, _ in wl.bulk_items}
+    inserted = set()
+    for op in wl.operations:
+        if op.op == INSERT:
+            assert op.key not in present and op.key not in inserted
+            inserted.add(op.key)
+    assert inserted  # the hot phases really write
+
+
+def test_moving_hotspot_hot_range_drifts():
+    """Each phase's hot lookups concentrate, and the center moves."""
+    phases = 4
+    wl = moving_hotspot_workload(KEYS, n_ops=4000, phases=phases,
+                                 hot_frac=0.05, seed=3)
+    warm = int(4000 * 0.15)
+    phase_ops = (4000 - warm) // (phases + 1)
+    lo, hi = min(KEYS), max(KEYS)
+    span = hi - lo
+    centers = []
+    for p in range(phases):
+        chunk = wl.operations[warm + p * phase_ops:
+                              warm + (p + 1) * phase_ops]
+        keys = sorted(op.key for op in chunk if op.op == LOOKUP)
+        # Hot mass: the interquartile keys sit in a narrow band.
+        q1 = keys[len(keys) // 4]
+        q3 = keys[3 * len(keys) // 4]
+        assert (q3 - q1) < 0.3 * span
+        centers.append((q1 + q3) / 2)
+    assert centers == sorted(centers)  # the hotspot drifts monotonically
+    assert centers[-1] - centers[0] > 0.4 * span
