@@ -416,6 +416,27 @@ def cmd_top(args) -> int:
                                  slo_window=args.window, bus=bus)
             router.run(wl)
             view = cluster_view(router.all_trackers)
+        elif getattr(args, "server", False):
+            from repro.core.events import KIND_JOB
+            from repro.core.migrate import resolve_index_name
+            from repro.core.server import run_serve_session, session_streams
+
+            try:
+                index = resolve_index_name(args.index)
+            except KeyError as exc:
+                raise SystemExit(exc.args[0]) from None
+            if live:
+                bus.subscribe(refresh, kinds=[KIND_JOB])
+            n_clients = 4
+            bulk, streams = session_streams(
+                index, n_clients=n_clients,
+                ops_per_client=max(1, args.ops // n_clients),
+                seed=args.seed, bulk_keys=keys)
+            report = run_serve_session(index, bulk, streams, threaded=True,
+                                       seed=args.seed, bus=bus)
+            if not report.ok:
+                print(f"serve session NOT ok: {report.to_dict()}",
+                      file=sys.stderr)
         elif args.migrate:
             from repro.core.migrate import resolve_index_name, run_migration
 
@@ -934,6 +955,116 @@ def cmd_shard(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args) -> int:
+    """Async index server session: N clients + a background rebuild,
+    journal-replayed through the differential oracle."""
+    import json
+
+    from repro.core.bench_history import provenance
+    from repro.core.events import EventBus
+    from repro.core.migrate import resolve_index_name
+    from repro.core.server import run_serve_session, session_streams
+    from repro.core.slo import ControlTower
+
+    try:
+        index = resolve_index_name(args.index)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0]) from None
+    keys = registry.get(args.dataset).generate(args.n, seed=args.seed)
+    bulk, streams = session_streams(
+        index, n_clients=args.clients, ops_per_client=args.ops,
+        seed=args.seed, profile=args.profile, bulk_keys=keys)
+
+    bus = EventBus()
+    tower = ControlTower()
+    bus.subscribe(tower.consume)
+    report = run_serve_session(
+        index, bulk, streams, rebuild_to=args.rebuild,
+        rebuild_after=args.rebuild_after, threaded=False, seed=args.seed,
+        queue_depth=args.queue_depth, admission=args.admission,
+        chunk=args.chunk, bus=bus)
+    threaded = None
+    if args.threads:
+        threaded = run_serve_session(
+            index, bulk, streams, rebuild_to=args.rebuild,
+            rebuild_after=args.rebuild_after, threaded=True,
+            seed=args.seed, queue_depth=args.queue_depth,
+            admission=args.admission, chunk=args.chunk)
+
+    doc = {"deterministic": report.to_dict()}
+    if threaded is not None:
+        doc["threaded"] = threaded.to_dict()
+    doc.update(provenance())
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(tower.render(title=f"repro serve · {index} on {args.dataset}"))
+        rep = report.to_dict()
+        print(f"\n{rep['clients']} clients x {args.ops} ops "
+              f"({args.profile}), rebuild -> {args.rebuild or index}: "
+              f"{rep['ops_per_vsec'] / 1e6:.2f}M ops/vs, "
+              f"overhead {rep['overhead_ns'] / 1e3:.0f}k vns, "
+              f"journal {rep['journal_len']} ops")
+        for label, r in (("deterministic", report), ("threaded", threaded)):
+            if r is None:
+                continue
+            print(f"  {label}: dropped lookups {r.dropped_lookups}, "
+                  f"stalled {r.stalled_lookups}, "
+                  f"oracle {'clean' if not r.mismatches else 'DIVERGED'}, "
+                  f"job {r.job['state'] if r.job else '-'}, "
+                  f"wall {r.wall_seconds:.3f}s")
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(doc, f, indent=2)
+        # stderr: --out defaults on, and --json consumers own stdout.
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.history:
+        from repro.core.bench_history import append_history, check_history
+
+        # Gated metrics come from the deterministic session only: same
+        # seed, same interleave, same virtual-clock numbers on any
+        # machine.  Threaded wall-clock stats ride in info, ungated.
+        metrics = {
+            "serve_ops_per_vsec": report.ops_per_vsec,
+            "client_ns": report.client_ns,
+            "overhead_ns": report.overhead_ns,
+        }
+        context = {"index": index, "dataset": args.dataset, "n": args.n,
+                   "clients": args.clients, "ops": args.ops,
+                   "profile": args.profile, "rebuild": args.rebuild,
+                   "rebuild_after": args.rebuild_after,
+                   "chunk": args.chunk, "queue_depth": args.queue_depth,
+                   "admission": args.admission, "seed": args.seed}
+        info = {"wall_seconds": report.wall_seconds}
+        if threaded is not None:
+            info["threaded_wall_seconds"] = threaded.wall_seconds
+        if args.check:
+            regressions = check_history(args.history, "serve", metrics,
+                                        context=context,
+                                        tolerance=args.tolerance)
+            if regressions:
+                for reg in regressions:
+                    print(f"FAIL {reg}", file=sys.stderr)
+                return 1
+            print(f"serve --check: no regressions vs {args.history} "
+                  f"(tolerance {args.tolerance:.0%})")
+        append_history(args.history, "serve", metrics, info=info,
+                       context=context)
+    ok = True
+    for label, r in (("deterministic", report), ("threaded", threaded)):
+        if r is None:
+            continue
+        if not r.ok:
+            print(f"FAIL: {label} session: "
+                  f"dropped lookups {r.dropped_lookups}, "
+                  f"stalled {r.stalled_lookups}, "
+                  f"oracle mismatches {len(r.mismatches)}, "
+                  f"job {r.job['state'] if r.job else '-'}",
+                  file=sys.stderr)
+            ok = False
+    return 0 if ok else 1
+
+
 def cmd_compare_runs(args) -> int:
     from repro.core.results import ResultStore, compare
 
@@ -1048,6 +1179,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="live mode: run --index sharded N ways under a "
                          "rebalancing router and aggregate the per-shard "
                          "SLO trackers into a cluster view")
+    sp.add_argument("--server", action="store_true",
+                    help="live mode: run an index-server session (client "
+                         "threads + background rebuild) and watch its "
+                         "job/backfill progress")
     sp.add_argument("--once", action="store_true",
                     help="print the final table once (no live refresh)")
     sp.add_argument("--json", action="store_true",
@@ -1214,6 +1349,42 @@ def build_parser() -> argparse.ArgumentParser:
     _history_flags(sp)
     common(sp)
 
+    sp = sub.add_parser(
+        "serve",
+        help="async index server session: N concurrent clients + a "
+             "background rebuild, journal-replayed through the "
+             "differential oracle (zero dropped/stalled lookups)")
+    sp.add_argument("--index", default="ALEX",
+                    help=f"served index, one of {sorted(_ALL_INDEXES)}")
+    sp.add_argument("--clients", type=int, default=4,
+                    help="concurrent client streams")
+    sp.add_argument("--profile", default="churn",
+                    choices=["churn", "burst"],
+                    help="per-client stream shape")
+    sp.add_argument("--rebuild", default="",
+                    help="background-job destination index (default: "
+                         "rebuild into the same type)")
+    sp.add_argument("--rebuild-after", type=float, default=0.25,
+                    dest="rebuild_after",
+                    help="submit the job after this fraction of ops")
+    sp.add_argument("--chunk", type=int, default=256,
+                    help="keys per background pump chunk")
+    sp.add_argument("--queue-depth", type=int, default=8,
+                    dest="queue_depth", help="bounded job-queue depth")
+    sp.add_argument("--admission", default="block",
+                    choices=["block", "reject"],
+                    help="job-queue behavior when full")
+    sp.add_argument("--threads", action="store_true",
+                    help="also run the real-thread session (client "
+                         "threads + worker thread) after the "
+                         "deterministic one")
+    sp.add_argument("--out", default="BENCH_serve.json",
+                    help="write the JSON report here ('' to skip)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable report")
+    _history_flags(sp)
+    common(sp)
+
     sp = sub.add_parser("compare-runs",
                         help="regressions between two result files")
     sp.add_argument("baseline")
@@ -1239,6 +1410,7 @@ _COMMANDS = {
     "fuzz": cmd_fuzz,
     "migrate": cmd_migrate,
     "shard": cmd_shard,
+    "serve": cmd_serve,
     "compare-runs": cmd_compare_runs,
 }
 

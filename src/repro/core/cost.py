@@ -17,6 +17,7 @@ sanity, but every figure in EXPERIMENTS.md is computed on this clock.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -145,6 +146,17 @@ class CostMeter:
 
     The meter supports cheap snapshot/diff so the benchmark runner can
     attribute cost to individual operations.
+
+    **Thread-safety contract:** a ``CostMeter`` is *single-writer*.
+    ``charge`` is an unlocked read-modify-write and the phase stack is
+    shared mutable state, so two threads charging the same meter lose
+    updates and can corrupt phase attribution; readers iterating
+    ``_counts`` while a writer inserts a new (phase, kind) key raise
+    ``RuntimeError``.  Every engine/sweep/migration path honors this by
+    construction (one thread per meter).  Anything that serves one index
+    from several threads — the :mod:`repro.core.server` request loop and
+    its background job worker — must wrap the meter in
+    :class:`SyncedMeter` first.
     """
 
     __slots__ = ("weights", "_counts", "_phase_stack")
@@ -248,3 +260,98 @@ class NullMeter(CostMeter):
 
     def charge_phased(self, phase: str, kind: str, n: float = 1.0) -> None:  # noqa: D102
         pass
+
+
+class SyncedMeter(CostMeter):
+    """A :class:`CostMeter` safe to charge and read from many threads.
+
+    Two changes over the base meter, matching its two hazards:
+
+    * every mutation and every read of the counter table happens under
+      one mutex, so concurrent charges never lose updates and readers
+      (``total_time`` — the virtual clock the bus emitters sample —
+      stays monotone) never trip over a dict resize, and
+    * the phase stack is **thread-local**: each thread's ``phase()``
+      context attributes its own charges without another thread's nest
+      level bleeding in.
+
+    Charging takes one extra lock round-trip, which is why the base
+    meter stays unlocked for the (overwhelmingly common)
+    single-threaded engine paths and this subclass is opt-in for the
+    server (:meth:`adopt` preserves already-accumulated charges and the
+    calibrated weights).
+    """
+
+    __slots__ = ("_mutex", "_local")
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None) -> None:
+        super().__init__(weights)
+        self._mutex = threading.RLock()
+        self._local = threading.local()
+
+    @classmethod
+    def adopt(cls, meter: CostMeter) -> "SyncedMeter":
+        """A synced meter continuing ``meter``'s weights and charges."""
+        if isinstance(meter, cls):
+            return meter
+        out = cls(meter.weights)
+        out._counts.update(meter._counts)
+        return out
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = [PHASE_OTHER]
+        return stack
+
+    # -- charging (locked, thread-local phase) -------------------------------
+
+    def charge(self, kind: str, n: float = 1.0) -> None:
+        key = (self._stack()[-1], kind)
+        with self._mutex:
+            self._counts[key] = self._counts.get(key, 0.0) + n
+
+    def charge_phased(self, phase: str, kind: str, n: float = 1.0) -> None:
+        key = (phase, kind)
+        with self._mutex:
+            self._counts[key] = self._counts.get(key, 0.0) + n
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        stack = self._stack()
+        stack.append(name)
+        try:
+            yield
+        finally:
+            stack.pop()
+
+    @property
+    def current_phase(self) -> str:
+        return self._stack()[-1]
+
+    # -- reading (locked) ----------------------------------------------------
+
+    def total_units(self, kind: str) -> float:
+        with self._mutex:
+            return super().total_units(kind)
+
+    def total_time(self) -> float:
+        with self._mutex:
+            return super().total_time()
+
+    def time_by_phase(self) -> Dict[str, float]:
+        with self._mutex:
+            return super().time_by_phase()
+
+    def snapshot(self) -> Dict[Tuple[str, str], float]:
+        with self._mutex:
+            return dict(self._counts)
+
+    def diff(self, before: Dict[Tuple[str, str], float]) -> "CostDelta":
+        with self._mutex:
+            return super().diff(before)
+
+    def reset(self) -> None:
+        with self._mutex:
+            self._counts.clear()
+        self._local = threading.local()

@@ -50,6 +50,7 @@ __all__ = [
     "KIND_BACKFILL_CHUNK",
     "KIND_CACHE_HIT",
     "KIND_CUTOVER",
+    "KIND_JOB",
     "KIND_OP_WINDOW",
     "KIND_PHASE",
     "KIND_SLO_WINDOW",
@@ -75,11 +76,15 @@ KIND_SWEEP_TASK = "sweep_task"
 KIND_CACHE_HIT = "cache_hit"
 KIND_SLO_WINDOW = "slo_window"
 KIND_ALERT = "alert"
+#: Background-job lifecycle/progress from the index server: submission
+#: (with queue depth), running, per-step progress (chunks pumped,
+#: verified fraction, virtual-clock ETA) and the terminal state.
+KIND_JOB = "job"
 
 EVENT_KINDS = frozenset({
     KIND_PHASE, KIND_OP_WINDOW, KIND_SMO, KIND_STATE, KIND_BACKFILL_CHUNK,
     KIND_CUTOVER, KIND_ADMISSION_REJECT, KIND_SWEEP_TASK, KIND_CACHE_HIT,
-    KIND_SLO_WINDOW, KIND_ALERT,
+    KIND_SLO_WINDOW, KIND_ALERT, KIND_JOB,
 })
 
 Subscriber = Callable[[dict], None]

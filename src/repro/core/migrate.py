@@ -66,7 +66,8 @@ from repro.core.workloads import (
 )
 from repro.indexes.multiplex import DONE, FAILED, MultiplexIndex
 
-__all__ = ["MigrationReport", "resolve_index_name", "run_migration"]
+__all__ = ["MigrationReport", "apply_op", "resolve_index_name",
+           "run_migration"]
 
 
 def resolve_index_name(name: str) -> str:
@@ -236,22 +237,34 @@ def _check_spec(spec: IndexSpec, role: str) -> None:
             "(shadow writes) and range scans (backfill snapshot cursor)")
 
 
-def _apply(mux: MultiplexIndex, op: Operation) -> Tuple[bool, int, object]:
-    """Engine-handler semantics for one op against the multiplexer."""
+def apply_op(index: Any, op: Operation) -> Tuple[bool, int, object]:
+    """Engine-handler semantics for one op against any index-like.
+
+    ``index`` is anything honoring the ``OrderedIndex`` op surface — a
+    bare index, a :class:`MultiplexIndex`, a sharded tier.  Returns
+    ``(ok, scanned, result)`` exactly as the execution engine's
+    dispatch table would, so journal replays and migrations compare
+    bit-for-bit against engine runs.  Shared by the migration control
+    plane and the :mod:`repro.core.server` foreground path.
+    """
     kind = op.op
     if kind == LOOKUP:
-        value = mux.lookup(op.key)
+        value = index.lookup(op.key)
         return value is not None, 0, value
     if kind == INSERT:
-        return bool(mux.insert(op.key, op.value)), 0, None
+        return bool(index.insert(op.key, op.value)), 0, None
     if kind == UPDATE:
-        return bool(mux.update(op.key, op.value)), 0, None
+        return bool(index.update(op.key, op.value)), 0, None
     if kind == DELETE:
-        return bool(mux.delete(op.key)), 0, None
+        return bool(index.delete(op.key)), 0, None
     if kind == SCAN:
-        rows = mux.range_scan(op.key, op.count)
+        rows = index.range_scan(op.key, op.count)
         return True, len(rows), rows
     raise ValueError(f"unknown op {kind!r}")
+
+
+#: Backward-compatible alias (pre-PR-10 private name).
+_apply = apply_op
 
 
 def run_migration(
@@ -332,7 +345,7 @@ def run_migration(
         shadow = mux.secondary
         client0 = client_meter.total_time()
         shadow0 = shadow.meter.total_time() if shadow is not None else 0.0
-        ok, scanned, result = _apply(mux, op)
+        ok, scanned, result = apply_op(mux, op)
         report.client_ns += client_meter.total_time() - client0
         if shadow is not None:
             report.overhead_ns += shadow.meter.total_time() - shadow0

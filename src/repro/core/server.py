@@ -1,0 +1,1219 @@
+"""Async multi-tenant index server with background rebuilds.
+
+ROADMAP item 1: the long-running serving layer over the instance
+lifecycle (PR 7), the event bus / SLO tower (PR 8) and the registry.
+An :class:`IndexServer` hosts named :class:`~repro.core.instance
+.IndexInstance`\\ s and keeps answering foreground traffic while bulk
+loads, rebuilds and migrations run as background jobs:
+
+* **Foreground ops** (lookup/insert/update/delete/scan plus the PR-6
+  ``lookup_many``/``insert_many`` batch paths) run concurrently under a
+  per-instance reader/writer lock: reads share the lock, writes and
+  background pump steps exclude each other.  Admission is the
+  instance's state policy — rejections raise
+  :class:`~repro.core.instance.AdmissionError` and are *counted*,
+  never silently dropped.
+* **Background jobs** (``bulk_load``, ``rebuild``, ``migrate``) go
+  through a bounded submission queue — ``block`` admission waits for a
+  slot, ``reject`` admission raises with exact rejection counts
+  (SNIPPETS Snippet 1's reconcile-thread pattern) — and are executed
+  one chunk at a time by a worker thread.  A rebuild wraps the serving
+  index in a :class:`~repro.indexes.multiplex.MultiplexIndex` with
+  ``pump_per_op=0``: only the job worker pumps, under the write lock,
+  so client reads are never blocked by migration work and never race
+  the backfill cursor.  Pump work is charged to the secondary's meter
+  (never client-visible latency); a failed or aborted job rolls the
+  instance back to SERVING on its original index.
+* **Status is first-class**: every job step publishes a typed ``job``
+  event (chunks pumped, verified fraction, queue depth, ETA on the
+  virtual clock) through the PR-8 :class:`~repro.core.events.EventBus`
+  alongside the instance's own state/backfill/admission events, all
+  folded by ``repro top --server``; :meth:`IndexServer.status` returns
+  the merged snapshot.
+* **Correctness is provable**: every admitted foreground op is
+  appended to a global **journal** *while its instance lock is held*,
+  so journal order is a valid serialization of the concurrent history.
+  :func:`replay_journal` re-runs the journal serially through the PR-5
+  differential oracle — a concurrent run is linearizable-per-key iff
+  the serial replay matches every recorded result bit-for-bit
+  (``tests/server_harness.py`` proves this across every shardable
+  registry index while a rebuild runs).
+
+Thread-safety: instances created here get their cost meter wrapped in
+:class:`~repro.core.cost.SyncedMeter` (the base meter is single-writer;
+see its docstring).  Remaining cross-thread index state — ``last_op``,
+batch-cache rebuilds — is benign under the reader/writer discipline:
+all structural mutation happens under the exclusive lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost import SyncedMeter
+from repro.core.events import KIND_CUTOVER, KIND_JOB
+from repro.core.instance import (
+    LOADING,
+    MIGRATING,
+    RETIRED,
+    SERVING,
+    AdmissionError,
+    IndexInstance,
+)
+from repro.core.migrate import apply_op, resolve_index_name
+from repro.core.opstream import DifferentialObserver, Mismatch
+from repro.core.registry import REGISTRY
+from repro.core.runner import OpEvent
+from repro.core.workloads import (
+    DELETE,
+    INSERT,
+    LOOKUP,
+    SCAN,
+    UPDATE,
+    Operation,
+    payload,
+)
+from repro.indexes.multiplex import (
+    BACKFILL,
+    DETACHED,
+    DONE,
+    FAILED,
+    READY,
+    VERIFY,
+    MultiplexIndex,
+)
+
+__all__ = [
+    "BLOCK",
+    "REJECT",
+    "JOB_QUEUED", "JOB_RUNNING", "JOB_DONE", "JOB_FAILED", "JOB_ABORTED",
+    "IndexServer",
+    "Job",
+    "JournalEntry",
+    "RWLock",
+    "ServeReport",
+    "replay_journal",
+    "run_serve_session",
+    "session_streams",
+]
+
+#: Job-queue admission policies (Snippet 1's block-vs-reject choice).
+BLOCK = "block"
+REJECT = "reject"
+
+#: Background-job states.
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_ABORTED = "aborted"
+
+_READ_OPS = frozenset({LOOKUP, SCAN})
+
+
+class RWLock:
+    """A writer-preferring reader/writer lock.
+
+    Readers share; a writer excludes everyone.  Waiting writers block
+    *new* readers so a stream of lookups cannot starve a rebuild pump
+    step; the job worker in turn sleeps between pump steps
+    (``worker_yield_s``) so a chunk-at-a-time rebuild cannot starve
+    readers either — the harness measures the result as zero stalled
+    lookups rather than assuming it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+@dataclass
+class JournalEntry:
+    """One admitted foreground op, recorded under the instance lock."""
+
+    seq: int
+    instance: str
+    op: str
+    key: int
+    value: Any
+    count: int
+    ok: bool
+    scanned: int
+    result: Any
+
+    def to_dict(self) -> dict:
+        result = self.result
+        if self.op == SCAN and result is not None:
+            result = [list(row) for row in result]
+        return {"seq": self.seq, "instance": self.instance, "op": self.op,
+                "key": self.key, "value": self.value, "count": self.count,
+                "ok": self.ok, "scanned": self.scanned, "result": result}
+
+
+@dataclass
+class Job:
+    """One background job: chunked bulk load, rebuild, or migration."""
+
+    job_id: int
+    kind: str          # "bulk_load" | "rebuild" | "migrate"
+    instance: str
+    dst: str = ""      # destination index name ("" = same as serving)
+    chunk: int = 128
+    state: str = JOB_QUEUED
+    chunks_pumped: int = 0
+    done_keys: int = 0
+    total_keys: int = 0
+    verified_fraction: float = 0.0
+    #: Virtual nanoseconds of migration work charged so far (pump work
+    #: goes to the secondary's meter, never client-visible latency).
+    overhead_ns: float = 0.0
+    #: Remaining virtual ns at the current cost rate (None until the
+    #: first chunk lands).
+    eta_ns: Optional[float] = None
+    error: str = ""
+    abort_requested: bool = False
+    runner: Any = field(default=None, repr=False)
+    _finished: threading.Event = field(default_factory=threading.Event,
+                                       repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (JOB_DONE, JOB_FAILED, JOB_ABORTED)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._finished.wait(timeout)
+
+    def abort(self) -> None:
+        """Request a cooperative abort; honored at the next job step."""
+        self.abort_requested = True
+
+    def to_dict(self) -> dict:
+        return {"job_id": self.job_id, "kind": self.kind,
+                "instance": self.instance, "dst": self.dst,
+                "state": self.state, "chunks_pumped": self.chunks_pumped,
+                "done_keys": self.done_keys, "total_keys": self.total_keys,
+                "verified_fraction": round(self.verified_fraction, 6),
+                "overhead_ns": self.overhead_ns, "eta_ns": self.eta_ns,
+                "error": self.error}
+
+
+@dataclass
+class _Served:
+    """Server-side bookkeeping around one hosted instance."""
+
+    instance: IndexInstance
+    index_name: str
+    lock: RWLock = field(default_factory=RWLock)
+    bulk_items: List[Tuple[int, Any]] = field(default_factory=list)
+    stats_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Ops refused (admission) or crashed, per op kind.
+    dropped: Dict[str, int] = field(default_factory=dict)
+    #: Ops whose lock wait exceeded the stall threshold, per op kind.
+    stalled: Dict[str, int] = field(default_factory=dict)
+    max_wait_s: float = 0.0
+    ops: int = 0
+
+    def note_wait(self, kind: str, waited: float, threshold: float) -> None:
+        with self.stats_lock:
+            self.ops += 1
+            if waited > self.max_wait_s:
+                self.max_wait_s = waited
+            if waited > threshold:
+                self.stalled[kind] = self.stalled.get(kind, 0) + 1
+
+    def note_drop(self, kind: str) -> None:
+        with self.stats_lock:
+            self.dropped[kind] = self.dropped.get(kind, 0) + 1
+
+
+class _BulkLoadRunner:
+    """Chunked background bulk load; the instance stays LOADING (and
+    keeps refusing traffic, counted) until the last chunk lands."""
+
+    def __init__(self, server: "IndexServer", served: _Served, job: Job,
+                 items: Sequence[Tuple[int, Any]]) -> None:
+        self.server = server
+        self.served = served
+        self.job = job
+        self.items = sorted(items)
+        self.pos = 0
+        job.total_keys = len(self.items)
+
+    def step(self) -> bool:
+        job, served = self.job, self.served
+        inst = served.instance
+        with _write(served.lock):
+            if job.abort_requested:
+                # A half-loaded index cannot serve; retire it.
+                inst.advance(RETIRED, f"job {job.job_id} aborted mid-load")
+                job.state = JOB_ABORTED
+                return True
+            index = inst.index
+            meter = index.meter
+            before = meter.snapshot()
+            if self.pos == 0:
+                spec = REGISTRY.get(served.index_name)
+                first = (self.items if not spec.supports_insert
+                         else self.items[:job.chunk])
+                index.bulk_load(first)
+                self.pos = len(first)
+            else:
+                for key, value in self.items[self.pos:self.pos + job.chunk]:
+                    index.insert(key, value)
+                self.pos = min(self.pos + job.chunk, len(self.items))
+            job.overhead_ns += meter.diff(before).total_time()
+            job.chunks_pumped += 1
+            job.done_keys = self.pos
+            job.eta_ns = _eta(job.overhead_ns, self.pos, len(self.items))
+            inst.note_backfill(self.pos, len(self.items), stage="load")
+            if self.pos >= len(self.items):
+                served.bulk_items = list(self.items)
+                inst.advance(SERVING,
+                             f"job {job.job_id}: bulk loaded "
+                             f"{len(self.items)} items")
+                job.verified_fraction = 1.0
+                job.eta_ns = 0.0
+                job.state = JOB_DONE
+                return True
+        return False
+
+
+class _RebuildRunner:
+    """Background rebuild/migration driving a ``pump_per_op=0``
+    multiplexer one chunk per step, under the instance's write lock."""
+
+    def __init__(self, server: "IndexServer", served: _Served,
+                 job: Job, factory: Optional[Callable[[], Any]]) -> None:
+        self.server = server
+        self.served = served
+        self.job = job
+        self.factory = factory
+        self.mux: Optional[MultiplexIndex] = None
+        self.original: Any = None
+        self.dst_name = ""
+
+    def step(self) -> bool:
+        if self.mux is None:
+            return self._attach()
+        job, served = self.job, self.served
+        with _write(served.lock):
+            mux = self.mux
+            if job.abort_requested:
+                return self._rollback_locked(JOB_ABORTED, "abort requested")
+            if mux.phase in (BACKFILL, VERIFY):
+                overhead_meter = mux.secondary.meter
+                before = overhead_meter.snapshot()
+                mux.pump()
+                job.overhead_ns += overhead_meter.diff(before).total_time()
+                job.chunks_pumped += 1
+                self._note_progress()
+                if mux.phase == FAILED:
+                    return self._rollback_locked(
+                        JOB_FAILED, self._divergence_text())
+                return False
+            if mux.phase == FAILED:
+                return self._rollback_locked(JOB_FAILED,
+                                             self._divergence_text())
+            if mux.phase == READY:
+                overhead_meter = mux.secondary.meter
+                before = overhead_meter.snapshot()
+                mux.cutover()  # re-checks late churn; may fail
+                if mux.phase == FAILED:
+                    return self._rollback_locked(
+                        JOB_FAILED, self._divergence_text())
+                job.overhead_ns += overhead_meter.diff(before).total_time()
+                inst = served.instance
+                inst.index = mux.primary
+                inst.status_probe = None
+                served.index_name = self.dst_name
+                inst.advance(SERVING,
+                             f"job {job.job_id}: {job.kind} -> "
+                             f"{self.dst_name} cut over")
+                self.server._publish(
+                    KIND_CUTOVER, source=served.instance.name,
+                    t_ns=inst.index.meter.total_time(),
+                    job_id=job.job_id, dst=self.dst_name,
+                    verify_keys=mux.verify_keys,
+                    reverify_keys=mux.reverify_keys)
+                job.verified_fraction = 1.0
+                job.eta_ns = 0.0
+                job.done_keys = job.total_keys = mux.backfill_keys \
+                    + mux.verify_keys
+                job.state = JOB_DONE
+                return True
+            # DONE/DETACHED cannot be reached while the runner owns the
+            # multiplexer; treat defensively as finished.
+            return self._rollback_locked(JOB_FAILED,
+                                         f"unexpected phase {mux.phase!r}")
+
+    def _attach(self) -> bool:
+        job, served = self.job, self.served
+        inst = served.instance
+        if job.abort_requested:
+            job.state = JOB_ABORTED
+            return True
+        name = resolve_index_name(job.dst) if job.dst else served.index_name
+        spec = REGISTRY.get(name)
+        self.dst_name = spec.name
+        secondary = self.factory() if self.factory else spec.factory()
+        secondary.meter = SyncedMeter.adopt(secondary.meter)
+        with _write(served.lock):
+            primary = inst.index
+            self.original = primary
+            mux = MultiplexIndex(primary, secondary, chunk=job.chunk,
+                                 pump_per_op=0, auto_cutover=False)
+            mux.progress_sink = (
+                lambda stage, done, total:
+                inst.note_backfill(done, total, stage=stage))
+            inst.index = mux
+            inst.status_probe = mux.status
+            inst.advance(MIGRATING,
+                         f"job {job.job_id}: {job.kind} -> {spec.name}")
+            job.total_keys = 2 * len(primary)
+        self.mux = mux
+        return False
+
+    def _note_progress(self) -> None:
+        job, mux = self.job, self.mux
+        primary_size = max(1, len(mux.primary))
+        job.done_keys = mux.backfill_keys + mux.verify_keys
+        job.total_keys = 2 * primary_size
+        job.verified_fraction = min(1.0, mux.verify_keys / primary_size)
+        job.eta_ns = _eta(job.overhead_ns, job.done_keys, job.total_keys)
+
+    def _divergence_text(self) -> str:
+        if self.mux.divergences:
+            return self.mux.divergences[0].describe()
+        return "migration failed"
+
+    def _rollback_locked(self, state: str, why: str) -> bool:
+        """Detach the secondary and resume service on the original
+        index; caller holds the write lock."""
+        job, served = self.job, self.served
+        inst = served.instance
+        mux = self.mux
+        if mux.phase not in (DONE, DETACHED):
+            mux.abort()
+        inst.index = self.original
+        inst.status_probe = None
+        inst.advance(SERVING, f"job {job.job_id} {state}: {why}")
+        if state == JOB_FAILED:
+            job.error = why
+        job.state = state
+        return True
+
+
+class _write:
+    """``with _write(lock):`` — exclusive section on an :class:`RWLock`."""
+
+    __slots__ = ("lock",)
+
+    def __init__(self, lock: RWLock) -> None:
+        self.lock = lock
+
+    def __enter__(self) -> None:
+        self.lock.acquire_write()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.lock.release_write()
+
+
+def _eta(overhead_ns: float, done: int, total: int) -> Optional[float]:
+    """Remaining virtual ns, extrapolated from the cost so far."""
+    if not done:
+        return None
+    return overhead_ns * max(0, total - done) / done
+
+
+class IndexServer:
+    """A multi-tenant serving tier over named index instances.
+
+    ``workers=1`` (default) runs background jobs on a daemon worker
+    thread; ``workers=0`` is the deterministic mode — jobs advance only
+    when :meth:`pump_jobs` is called, which is what the concurrency
+    harness and the gated benchmark use to make interleavings
+    reproducible.  ``admission`` picks the bounded job queue's behavior
+    when full: ``block`` waits for a slot, ``reject`` raises
+    :class:`AdmissionError` (and counts it in :attr:`rejected_jobs`).
+    """
+
+    def __init__(self, queue_depth: int = 8, admission: str = BLOCK,
+                 workers: int = 1, bus: Any = None, chunk: int = 128,
+                 stall_threshold_s: float = 1.0,
+                 worker_yield_s: float = 0.0005) -> None:
+        if admission not in (BLOCK, REJECT):
+            raise ValueError(f"unknown admission policy {admission!r}")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if workers not in (0, 1):
+            raise ValueError("workers must be 0 (manual) or 1")
+        self.bus = bus
+        self.admission = admission
+        self.queue_depth = queue_depth
+        self.chunk = chunk
+        self.stall_threshold_s = stall_threshold_s
+        self.worker_yield_s = worker_yield_s
+        self._served: Dict[str, _Served] = {}
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(queue_depth)
+        self._jobs: List[Job] = []
+        self._job_ids = itertools.count(1)
+        self._active: Optional[Job] = None
+        self._journal: List[JournalEntry] = []
+        self._journal_lock = threading.Lock()
+        self._seq = itertools.count()
+        self.submitted_jobs = 0
+        self.rejected_jobs = 0
+        self.blocked_submits = 0
+        self.max_queue_depth = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"index-server-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "IndexServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the worker thread (queued jobs are drained first)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=30.0)
+
+    # -- instances -----------------------------------------------------------
+
+    def create_instance(self, name: str, index_name: str,
+                        factory: Optional[Callable[[], Any]] = None,
+                        items: Optional[Sequence[Tuple[int, Any]]] = None,
+                        **config: Any) -> IndexInstance:
+        """Host a new instance of registry index ``index_name``.
+
+        With ``items`` the load is synchronous (the instance comes back
+        SERVING); without, it stays LOADING until a :meth:`bulk_load`
+        job finishes.  The index's meter is wrapped in
+        :class:`SyncedMeter` — server instances are charged from both
+        request threads and the job worker.
+        """
+        if name in self._served:
+            raise ValueError(f"instance {name!r} already exists")
+        canonical = resolve_index_name(index_name)
+        spec = REGISTRY.get(canonical)
+        if factory is not None:
+            index = factory()
+        elif config:
+            index = REGISTRY.create(canonical, **config)
+        else:
+            index = spec.factory()
+        if not index.supports_range:
+            raise ValueError(
+                f"{spec.name} cannot be served: background rebuilds need "
+                "range_scan for the backfill cursor")
+        index.meter = SyncedMeter.adopt(index.meter)
+        instance = IndexInstance(index, name=name, spec=spec)
+        if self.bus is not None:
+            instance.attach_bus(self.bus)
+        served = _Served(instance=instance, index_name=spec.name)
+        self._served[name] = served
+        if items is not None:
+            items = list(items)
+            instance.bulk_load(items)
+            served.bulk_items = items
+        return instance
+
+    def instance(self, name: str) -> IndexInstance:
+        return self._served_of(name).instance
+
+    def instances(self) -> List[str]:
+        return list(self._served)
+
+    def _served_of(self, name: str) -> _Served:
+        try:
+            return self._served[name]
+        except KeyError:
+            raise KeyError(
+                f"no instance {name!r}; hosted: {sorted(self._served)}"
+            ) from None
+
+    # -- foreground ops ------------------------------------------------------
+
+    def apply(self, name: str, op: Operation) -> Tuple[bool, Any]:
+        """Serve one foreground op under the instance's RW lock.
+
+        Reads share the lock; writes are exclusive.  The journal entry
+        is appended *before the lock is released*, so journal order is
+        a valid serialization of the concurrent history.  Admission
+        rejections count in both the instance (``rejected``) and the
+        server's per-kind ``dropped`` stats, then re-raise.
+        """
+        served = self._served_of(name)
+        read = op.op in _READ_OPS
+        lock = served.lock
+        t0 = time.perf_counter()
+        if read:
+            lock.acquire_read()
+        else:
+            lock.acquire_write()
+        waited = time.perf_counter() - t0
+        try:
+            # stats_lock makes the rejection counters exact even when
+            # several readers hit a non-admitting state concurrently.
+            with served.stats_lock:
+                served.instance.admit(op.op)
+            ok, scanned, result = apply_op(served.instance.index, op)
+            self._journal_append(served, op, ok, scanned, result)
+        except AdmissionError:
+            served.note_drop(op.op)
+            raise
+        finally:
+            if read:
+                lock.release_read()
+            else:
+                lock.release_write()
+        served.note_wait(op.op, waited, self.stall_threshold_s)
+        return ok, result
+
+    def lookup(self, name: str, key: int) -> Any:
+        return self.apply(name, Operation(LOOKUP, key))[1]
+
+    def insert(self, name: str, key: int, value: Any) -> bool:
+        return self.apply(name, Operation(INSERT, key, value))[0]
+
+    def update(self, name: str, key: int, value: Any) -> bool:
+        return self.apply(name, Operation(UPDATE, key, value))[0]
+
+    def delete(self, name: str, key: int) -> bool:
+        return self.apply(name, Operation(DELETE, key))[0]
+
+    def scan(self, name: str, start: int, count: int) -> List[Tuple[int, Any]]:
+        return self.apply(name, Operation(SCAN, start, count=count))[1]
+
+    def lookup_many(self, name: str, keys: Sequence[int]) -> List[Any]:
+        """Batched lookups under one read-lock acquisition (PR-6 path)."""
+        served = self._served_of(name)
+        t0 = time.perf_counter()
+        served.lock.acquire_read()
+        waited = time.perf_counter() - t0
+        try:
+            with served.stats_lock:
+                served.instance.admit(LOOKUP)
+            values = served.instance.index.lookup_many(list(keys))
+            counts = served.instance.op_counts
+            with self._journal_lock:
+                counts[LOOKUP] = counts.get(LOOKUP, 0) + len(keys)
+                for key, value in zip(keys, values):
+                    self._journal.append(JournalEntry(
+                        seq=next(self._seq), instance=name, op=LOOKUP,
+                        key=key, value=None, count=0,
+                        ok=value is not None, scanned=0, result=value))
+        except AdmissionError:
+            served.note_drop(LOOKUP)
+            raise
+        finally:
+            served.lock.release_read()
+        served.note_wait(LOOKUP, waited, self.stall_threshold_s)
+        return values
+
+    def insert_many(self, name: str,
+                    pairs: Sequence[Tuple[int, Any]]) -> List[bool]:
+        """Batched inserts under one write-lock acquisition."""
+        served = self._served_of(name)
+        t0 = time.perf_counter()
+        served.lock.acquire_write()
+        waited = time.perf_counter() - t0
+        try:
+            with served.stats_lock:
+                served.instance.admit(INSERT)
+            pairs = list(pairs)
+            oks = served.instance.index.insert_many(pairs)
+            counts = served.instance.op_counts
+            with self._journal_lock:
+                counts[INSERT] = counts.get(INSERT, 0) + len(pairs)
+                for (key, value), ok in zip(pairs, oks):
+                    self._journal.append(JournalEntry(
+                        seq=next(self._seq), instance=name, op=INSERT,
+                        key=key, value=value, count=0,
+                        ok=bool(ok), scanned=0, result=None))
+        except AdmissionError:
+            served.note_drop(INSERT)
+            raise
+        finally:
+            served.lock.release_write()
+        served.note_wait(INSERT, waited, self.stall_threshold_s)
+        return oks
+
+    def _journal_append(self, served: _Served, op: Operation, ok: bool,
+                        scanned: int, result: Any) -> None:
+        counts = served.instance.op_counts
+        with self._journal_lock:
+            # op_counts rides inside the journal lock so concurrent
+            # readers (shared read lock) never lose count increments.
+            counts[op.op] = counts.get(op.op, 0) + 1
+            self._journal.append(JournalEntry(
+                seq=next(self._seq), instance=served.instance.name,
+                op=op.op, key=op.key, value=op.value, count=op.count,
+                ok=ok, scanned=scanned, result=result))
+
+    def journal(self, name: Optional[str] = None) -> List[JournalEntry]:
+        """The recorded op history (optionally for one instance)."""
+        with self._journal_lock:
+            entries = list(self._journal)
+        if name is not None:
+            entries = [e for e in entries if e.instance == name]
+        return entries
+
+    def replay_check(self, name: str, limit: int = 50) -> List[Mismatch]:
+        """Serially replay ``name``'s journal through the differential
+        oracle; an empty list proves linearizable-per-key results."""
+        served = self._served_of(name)
+        return replay_journal(self.journal(name), served.bulk_items,
+                              limit=limit)
+
+    # -- background jobs -----------------------------------------------------
+
+    def bulk_load(self, name: str, items: Sequence[Tuple[int, Any]],
+                  chunk: Optional[int] = None) -> Job:
+        """Queue a chunked background load for a LOADING instance."""
+        served = self._served_of(name)
+        if served.instance.state != LOADING:
+            raise ValueError(
+                f"instance {name!r} is {served.instance.state}; background "
+                "bulk_load needs a fresh LOADING instance")
+        job = Job(job_id=next(self._job_ids), kind="bulk_load", instance=name,
+                  chunk=chunk or self.chunk)
+        job.runner = _BulkLoadRunner(self, served, job, items)
+        return self._submit(job)
+
+    def rebuild(self, name: str, chunk: Optional[int] = None,
+                factory: Optional[Callable[[], Any]] = None) -> Job:
+        """Queue a background rebuild into a fresh index of the same
+        type (compaction): backfill + verify + atomic cutover while
+        foreground traffic keeps flowing."""
+        return self._structure_job(name, "rebuild", "", chunk, factory)
+
+    def migrate(self, name: str, dst: str, chunk: Optional[int] = None,
+                factory: Optional[Callable[[], Any]] = None) -> Job:
+        """Queue a background migration to registry index ``dst``."""
+        return self._structure_job(name, "migrate", dst, chunk, factory)
+
+    def _structure_job(self, name: str, kind: str, dst: str,
+                       chunk: Optional[int],
+                       factory: Optional[Callable[[], Any]]) -> Job:
+        served = self._served_of(name)
+        dst_name = resolve_index_name(dst) if dst else served.index_name
+        spec = REGISTRY.get(dst_name)
+        if not spec.supports_insert:
+            raise ValueError(
+                f"{spec.name} cannot be a {kind} destination: the "
+                "backfill pump inserts chunk by chunk")
+        job = Job(job_id=next(self._job_ids), kind=kind, instance=name,
+                  dst=spec.name, chunk=chunk or self.chunk)
+        job.runner = _RebuildRunner(self, served, job, factory)
+        return self._submit(job)
+
+    def _submit(self, job: Job) -> Job:
+        """Bounded-queue admission: ``block`` waits, ``reject`` raises."""
+        if self._closed:
+            raise RuntimeError("server is closed")
+        if self.admission == REJECT:
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self.rejected_jobs += 1
+                self._publish_job(job, "rejected")
+                raise AdmissionError(reason=(
+                    f"job queue full ({self.queue_depth} deep): rejected "
+                    f"{job.kind} for instance {job.instance!r}")) from None
+        else:
+            if self._queue.full():
+                self.blocked_submits += 1
+            self._queue.put(job)
+        self.submitted_jobs += 1
+        self._jobs.append(job)
+        depth = self._queue.qsize()
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        self._publish_job(job, JOB_QUEUED)
+        return job
+
+    def jobs(self, name: Optional[str] = None) -> List[Job]:
+        jobs = list(self._jobs)
+        if name is not None:
+            jobs = [j for j in jobs if j.instance == name]
+        return jobs
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Wait for every accepted job to reach a terminal state."""
+        if not self._workers:
+            while self.pump_jobs(1024):
+                pass
+            return
+        deadline = time.monotonic() + timeout
+        for job in list(self._jobs):
+            if not job.wait(max(0.0, deadline - time.monotonic())):
+                raise TimeoutError(
+                    f"job {job.job_id} ({job.kind}) still {job.state} "
+                    f"after {timeout}s")
+
+    def pump_jobs(self, steps: int = 1) -> int:
+        """Advance background jobs by up to ``steps`` chunk steps
+        (deterministic ``workers=0`` mode only); returns steps taken."""
+        if self._workers:
+            raise RuntimeError(
+                "pump_jobs is for workers=0 servers; a worker thread owns "
+                "job execution here")
+        performed = 0
+        for _ in range(steps):
+            if self._active is None:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if not self._begin_job(job):
+                    continue
+                self._active = job
+            if self._step_job(self._active):
+                self._active = None
+            performed += 1
+        return performed
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if not self._begin_job(job):
+                continue
+            while not self._step_job(job):
+                if self.worker_yield_s:
+                    time.sleep(self.worker_yield_s)
+
+    def _begin_job(self, job: Job) -> bool:
+        """Move a dequeued job to RUNNING; False if aborted in queue."""
+        if job.abort_requested:
+            job.state = JOB_ABORTED
+            self._finalize_job(job)
+            return False
+        job.state = JOB_RUNNING
+        self._publish_job(job, JOB_RUNNING)
+        return True
+
+    def _step_job(self, job: Job) -> bool:
+        try:
+            finished = job.runner.step()
+        except Exception as exc:  # noqa: BLE001 — a job crash is a result
+            job.state = JOB_FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+            finished = True
+        if finished:
+            self._finalize_job(job)
+        else:
+            self._publish_job(job, JOB_RUNNING)
+        return finished
+
+    def _finalize_job(self, job: Job) -> None:
+        self._publish_job(job, job.state)
+        job._finished.set()
+
+    def _publish_job(self, job: Job, status: str) -> None:
+        if self.bus is None:
+            return
+        t_ns = 0.0
+        served = self._served.get(job.instance)
+        if served is not None:
+            meter = getattr(served.instance.index, "meter", None)
+            if meter is not None:
+                t_ns = meter.total_time()
+        self.bus.publish(
+            KIND_JOB, source=job.instance, t_ns=t_ns, job_id=job.job_id,
+            job_kind=job.kind, status=status, chunks=job.chunks_pumped,
+            done=job.done_keys, total=job.total_keys,
+            verified_fraction=round(job.verified_fraction, 6),
+            eta_ns=job.eta_ns, queue_depth=self._queue.qsize(),
+            error=job.error)
+
+    def _publish(self, kind: str, **payload: Any) -> None:
+        if self.bus is not None:
+            self.bus.publish(kind, **payload)
+
+    # -- status --------------------------------------------------------------
+
+    def status(self, name: str) -> dict:
+        """The instance's lifecycle snapshot merged with the server's
+        traffic stats and this instance's job history."""
+        served = self._served_of(name)
+        out = served.instance.status()
+        with served.stats_lock:
+            out["server"] = {
+                "ops": served.ops,
+                "dropped": dict(served.dropped),
+                "stalled": dict(served.stalled),
+                "max_wait_s": served.max_wait_s,
+            }
+        out["jobs"] = [j.to_dict() for j in self.jobs(name)]
+        out["queue_depth"] = self._queue.qsize()
+        return out
+
+    def status_all(self) -> Dict[str, dict]:
+        return {name: self.status(name) for name in self._served}
+
+
+# ---------------------------------------------------------------------------
+# Journal replay through the differential oracle
+# ---------------------------------------------------------------------------
+
+def replay_journal(entries: Sequence[JournalEntry],
+                   bulk_items: Sequence[Tuple[int, Any]],
+                   limit: int = 50) -> List[Mismatch]:
+    """Serially replay a server journal through the PR-5 oracle.
+
+    Journal entries are appended while the per-instance lock is held,
+    so their order is a serialization of the concurrent history; the
+    replay checks that every recorded result matches what a
+    single-threaded reference model produces in that order — the
+    linearizable-per-key proof the harness asserts is empty.
+    """
+    differ = DifferentialObserver(limit=limit)
+    differ.on_phase("measure", None,
+                    SimpleNamespace(bulk_items=list(bulk_items)))
+    for entry in entries:
+        op = Operation(entry.op, entry.key, entry.value, entry.count)
+        differ.on_op(OpEvent(seq=entry.seq, op=op, record=None, ok=entry.ok,
+                             scanned=entry.scanned, result=entry.result),
+                     None)
+    return list(differ.mismatches)
+
+
+# ---------------------------------------------------------------------------
+# Serve sessions: N clients + a background rebuild, checked end to end
+# ---------------------------------------------------------------------------
+
+def session_streams(
+    index_name: str,
+    n_clients: int = 3,
+    ops_per_client: int = 150,
+    n_bulk: int = 400,
+    seed: int = 0,
+    profile: str = "churn",
+    key_space: int = 1 << 40,
+    bulk_keys: Optional[Sequence[int]] = None,
+) -> Tuple[List[Tuple[int, Any]], List[List[Operation]]]:
+    """Deterministic per-client op streams for a serve session.
+
+    ``churn`` is a steady mix (zipf-ish hot lookups, fresh inserts,
+    updates, scans, deletes where supported); ``burst`` front-loads an
+    insert burst then drains with reads/scans/deletes.  Fresh insert
+    keys come from per-client disjoint slices above ``key_space`` so
+    concurrent clients rarely contend on the same key — cross-client
+    conflicts stay *legal* (the journal serializes them), just not the
+    common case.  Identical arguments always produce identical streams.
+    """
+    spec = REGISTRY.get(resolve_index_name(index_name))
+    if bulk_keys is None:
+        rng = random.Random(f"serve-bulk-{spec.name}-{seed}-{n_bulk}")
+        present = set()
+        while len(present) < n_bulk:
+            present.add(rng.randrange(1, key_space))
+        bulk_keys = sorted(present)
+    else:
+        bulk_keys = sorted(set(bulk_keys))
+        key_space = max(key_space, bulk_keys[-1] + 1 if bulk_keys else 1)
+        n_bulk = len(bulk_keys)
+    bulk_items = [(k, payload(k)) for k in bulk_keys]
+
+    streams: List[List[Operation]] = []
+    for client in range(n_clients):
+        crng = random.Random(
+            f"serve-{profile}-{spec.name}-{seed}-client{client}")
+        fresh_base = key_space + (client + 1) * key_space
+        fresh_next = 0
+        mine: List[int] = []
+
+        def fresh_key() -> int:
+            nonlocal fresh_next
+            fresh_next += 1
+            return fresh_base + fresh_next * 7  # sparse, strictly fresh
+
+        def hot_key() -> int:
+            # Zipf-ish: mostly a small hot set, sometimes anywhere.
+            if crng.random() < 0.7:
+                return bulk_keys[crng.randrange(max(1, n_bulk // 16))]
+            return crng.choice(bulk_keys)
+
+        ops: List[Operation] = []
+        for i in range(ops_per_client):
+            if profile == "burst":
+                bursting = i < ops_per_client // 2
+                r = crng.random() * (0.8 if bursting else 0.0)
+            else:
+                r = crng.random()
+            p_insert = 0.25
+            p_update = 0.10
+            p_delete = 0.08 if spec.supports_delete else 0.0
+            p_scan = 0.07 if spec.supports_range else 0.0
+            if r < p_insert:
+                k = fresh_key()
+                mine.append(k)
+                ops.append(Operation(INSERT, k, payload(k)))
+            elif r < p_insert + p_update:
+                k = crng.choice(mine) if mine and crng.random() < 0.5 \
+                    else hot_key()
+                ops.append(Operation(UPDATE, k, payload(k) ^ 0x5A5A5A5A))
+            elif r < p_insert + p_update + p_delete:
+                if mine and crng.random() < 0.7:
+                    k = mine.pop(crng.randrange(len(mine)))
+                else:
+                    k = hot_key()
+                ops.append(Operation(DELETE, k))
+            elif r < p_insert + p_update + p_delete + p_scan:
+                ops.append(Operation(SCAN, hot_key(),
+                                     count=crng.randint(1, 32)))
+            else:
+                ops.append(Operation(LOOKUP, crng.choice(mine)
+                                     if mine and crng.random() < 0.3
+                                     else hot_key()))
+        streams.append(ops)
+    return bulk_items, streams
+
+
+@dataclass
+class ServeReport:
+    """Everything one serve session measured and proved."""
+
+    index_name: str
+    mode: str                      # "deterministic" | "threaded"
+    n_clients: int
+    ops_total: int
+    op_counts: Dict[str, int]
+    dropped: Dict[str, int]
+    stalled: Dict[str, int]
+    rejected_ops: Dict[str, int]
+    max_wait_s: float
+    journal_len: int
+    mismatches: List[Mismatch]
+    job: Optional[dict]
+    client_ns: float
+    overhead_ns: float
+    wall_seconds: float
+    interleaved_ops: List[Operation] = field(default_factory=list,
+                                             repr=False)
+    bulk_items: List[Tuple[int, Any]] = field(default_factory=list,
+                                              repr=False)
+
+    @property
+    def dropped_lookups(self) -> int:
+        return self.dropped.get(LOOKUP, 0)
+
+    @property
+    def stalled_lookups(self) -> int:
+        return self.stalled.get(LOOKUP, 0)
+
+    @property
+    def ok(self) -> bool:
+        """Zero dropped/stalled lookups, clean oracle, job not FAILED."""
+        return (not self.mismatches
+                and not self.dropped_lookups
+                and not self.stalled_lookups
+                and (self.job is None or self.job["state"] != JOB_FAILED))
+
+    @property
+    def ops_per_vsec(self) -> float:
+        if self.client_ns <= 0:
+            return 0.0
+        return self.ops_total / (self.client_ns / 1e9)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index_name, "mode": self.mode,
+            "clients": self.n_clients, "ops_total": self.ops_total,
+            "op_counts": dict(self.op_counts),
+            "dropped": dict(self.dropped), "stalled": dict(self.stalled),
+            "rejected_ops": dict(self.rejected_ops),
+            "max_wait_s": round(self.max_wait_s, 6),
+            "journal_len": self.journal_len,
+            "oracle_mismatches": len(self.mismatches),
+            "job": self.job, "client_ns": self.client_ns,
+            "overhead_ns": self.overhead_ns,
+            "ops_per_vsec": self.ops_per_vsec,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "ok": self.ok,
+        }
+
+
+def run_serve_session(
+    index_name: str,
+    bulk_items: Sequence[Tuple[int, Any]],
+    client_ops: Sequence[List[Operation]],
+    rebuild_to: str = "",
+    rebuild_after: float = 0.25,
+    threaded: bool = False,
+    seed: int = 0,
+    queue_depth: int = 8,
+    admission: str = BLOCK,
+    chunk: int = 128,
+    pump_per_client_op: int = 2,
+    stall_threshold_s: float = 1.0,
+    bus: Any = None,
+    instance_factory: Optional[Callable[[], Any]] = None,
+    rebuild_factory: Optional[Callable[[], Any]] = None,
+) -> ServeReport:
+    """Serve ``client_ops`` against one instance while a background
+    rebuild runs, then prove the run correct.
+
+    Deterministic mode (``threaded=False``) drives a ``workers=0``
+    server from one thread with a seeded round-robin interleave and
+    pumps the job ``pump_per_client_op`` steps per client op — same
+    arguments, same journal, same virtual-clock metrics, every time
+    (that is what the gated ``BENCH_serve.json`` numbers come from).
+    Threaded mode runs one real thread per client against the worker
+    thread — nondeterministic interleavings, same proof obligations:
+    journal replay through the oracle, zero dropped/stalled lookups.
+    """
+    name = "tenant"
+    server = IndexServer(queue_depth=queue_depth, admission=admission,
+                         workers=0 if not threaded else 1, bus=bus,
+                         chunk=chunk, stall_threshold_s=stall_threshold_s)
+    try:
+        instance = server.create_instance(
+            name, index_name, factory=instance_factory,
+            items=list(bulk_items))
+        total = sum(len(ops) for ops in client_ops)
+        trigger = max(1, int(total * rebuild_after))
+        submit = (
+            (lambda: server.rebuild(name, factory=rebuild_factory))
+            if not rebuild_to or resolve_index_name(rebuild_to) ==
+            server._served_of(name).index_name
+            else (lambda: server.migrate(name, rebuild_to,
+                                         factory=rebuild_factory)))
+        job: Optional[Job] = None
+        client_ns = 0.0
+        interleaved: List[Operation] = []
+        t0 = time.perf_counter()
+
+        if not threaded:
+            rng = random.Random(f"serve-interleave-{index_name}-{seed}")
+            cursors = [0] * len(client_ops)
+            done = 0
+            while done < total:
+                live = [i for i in range(len(client_ops))
+                        if cursors[i] < len(client_ops[i])]
+                i = rng.choice(live)
+                op = client_ops[i][cursors[i]]
+                cursors[i] += 1
+                interleaved.append(op)
+                meter = instance.index.meter
+                before = meter.snapshot()
+                try:
+                    server.apply(name, op)
+                except AdmissionError:
+                    pass  # counted in dropped/rejected
+                finally:
+                    client_ns += meter.diff(before).total_time()
+                done += 1
+                if job is None and done >= trigger:
+                    job = submit()
+                if job is not None and not job.finished:
+                    server.pump_jobs(pump_per_client_op)
+            server.drain()
+        else:
+            jobs: List[Job] = []
+            barrier = threading.Barrier(len(client_ops))
+            errors: List[BaseException] = []
+            per_client_trigger = max(1, trigger // max(1, len(client_ops)))
+
+            def client(idx: int, ops: List[Operation]) -> None:
+                try:
+                    barrier.wait(timeout=30.0)
+                    submit_at = min(per_client_trigger, max(0, len(ops) - 1))
+                    for j, op in enumerate(ops):
+                        if idx == 0 and j == submit_at:
+                            jobs.append(submit())
+                        try:
+                            server.apply(name, op)
+                        except AdmissionError:
+                            pass  # counted in dropped/rejected
+                except BaseException as exc:  # noqa: BLE001 — report it
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=(i, ops),
+                                        daemon=True)
+                       for i, ops in enumerate(client_ops)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            server.drain()
+            if errors:
+                raise errors[0]
+            job = jobs[0] if jobs else None
+
+        wall = time.perf_counter() - t0
+        overhead_ns = job.overhead_ns if job is not None else 0.0
+        served = server._served_of(name)
+        mismatches = server.replay_check(name)
+        with served.stats_lock:
+            dropped = dict(served.dropped)
+            stalled = dict(served.stalled)
+            max_wait = served.max_wait_s
+        return ServeReport(
+            index_name=served.index_name, mode=("threaded" if threaded
+                                                else "deterministic"),
+            n_clients=len(client_ops), ops_total=total,
+            op_counts=dict(instance.op_counts),
+            dropped=dropped, stalled=stalled,
+            rejected_ops=dict(instance.rejected), max_wait_s=max_wait,
+            journal_len=len(server.journal(name)), mismatches=mismatches,
+            job=job.to_dict() if job is not None else None,
+            client_ns=client_ns, overhead_ns=overhead_ns,
+            wall_seconds=wall, interleaved_ops=interleaved,
+            bulk_items=list(bulk_items))
+    finally:
+        server.close()

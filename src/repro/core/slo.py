@@ -42,6 +42,7 @@ from repro.core.events import (
     KIND_BACKFILL_CHUNK,
     KIND_CACHE_HIT,
     KIND_CUTOVER,
+    KIND_JOB,
     KIND_OP_WINDOW,
     KIND_PHASE,
     KIND_SLO_WINDOW,
@@ -385,6 +386,7 @@ def _new_row(source: str) -> dict:
         "backfill_stage": "", "backfill_done": 0, "backfill_total": 0,
         "cutover_seq": None, "alerts": [], "worst_severity": "",
         "last_t_ns": 0.0, "lifecycle": False,
+        "job": "", "job_eta_ns": None, "queue_depth": 0,
     }
 
 
@@ -453,6 +455,13 @@ class ControlTower:
         elif kind == KIND_CUTOVER:
             row["cutover_seq"] = event.get("op_seq")
             row["state"] = "serving"
+        elif kind == KIND_JOB:
+            status = event.get("status", "")
+            row["job"] = f"{event.get('job_kind', '?')} {status}"
+            row["job_eta_ns"] = event.get("eta_ns")
+            row["queue_depth"] = event.get("queue_depth", row["queue_depth"])
+            if status in ("done", "failed", "aborted", "rejected"):
+                row["job_eta_ns"] = None
         elif kind == KIND_ALERT:
             row["alerts"].append(
                 f"[{event.get('severity', '?')}] {event.get('message', '')}")
@@ -479,12 +488,13 @@ class ControlTower:
                 source, row["state"], row["ops"],
                 f"{row['ops_per_vsec'] / 1e6:.2f}M" if row["ops_per_vsec"] else "-",
                 f"{row['p99_ns']:.0f}" if row["p99_ns"] is not None else "-",
-                self._backfill_cell(row), row["smos"], row["rejected"],
+                self._backfill_cell(row), row["job"] or "-",
+                row["smos"], row["rejected"],
                 alerts,
             ])
         out = table(
             ["Instance", "State", "Ops", "Ops/vs", "p99 ns", "Backfill",
-             "SMOs", "Rej", "Alerts"],
+             "Job", "SMOs", "Rej", "Alerts"],
             rows, title=title)
         lines = [out]
         if self.sweep["tasks"] or self.sweep["cache_hits"]:

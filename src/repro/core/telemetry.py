@@ -337,6 +337,15 @@ class MetricsCollector(ExecutionObserver):
     rolling throughput (Mops on the virtual clock), rolling SMO rate
     (SMOs per op) and the index's analytic ``memory_usage()`` total.
     ``series`` holds the samples as dicts ready for ``save_jsonl``.
+
+    **Thread-safety: none — single-engine-thread only.**  The window
+    counters are unlocked read-modify-write state, exactly like the base
+    :class:`~repro.core.cost.CostMeter` (see its docstring); a collector
+    observes one engine loop.  The multi-threaded serving tier does not
+    attach one: :class:`~repro.core.server.IndexServer` wraps each
+    instance's meter in :class:`~repro.core.cost.SyncedMeter` and keeps
+    its own per-instance counters under locks instead
+    (``tests/test_server.py`` hammers that path from two threads).
     """
 
     def __init__(self, window_ops: int = 256) -> None:

@@ -1,0 +1,427 @@
+"""The async multi-tenant index server and its concurrency proof.
+
+The headline tests run the ``tests.server_harness`` checker — N clients
+plus a background rebuild against one server, journal replayed serially
+through the differential oracle — across **every** shardable registry
+index, in both the deterministic interleave and with real threads.  The
+rest pins the serving machinery piece by piece: block-vs-reject job
+admission with exact counts, backpressure saturation, abort and
+divergence rollback to SERVING, admission during background loads,
+job-event ordering on the bus, the PR-6 batch paths, and the
+SyncedMeter thread-safety contract.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.cost import CostMeter, SyncedMeter
+from repro.core.events import KIND_JOB, EventBus
+from repro.core.instance import LOADING, MIGRATING, SERVING, AdmissionError
+from repro.core.registry import REGISTRY
+from repro.core.server import (
+    BLOCK,
+    JOB_ABORTED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    REJECT,
+    IndexServer,
+    RWLock,
+    run_serve_session,
+)
+from repro.core.workloads import LOOKUP, payload
+from tests.server_harness import (
+    build_session,
+    check_session,
+    shardable_specs,
+)
+
+SHARDABLE = [spec.name for spec in shardable_specs()]
+
+
+def _items(n=200, seed=3):
+    import random
+    keys = sorted(random.Random(seed).sample(range(1, 10_000_000), n))
+    return [(k, payload(k)) for k in keys]
+
+
+def _manual_server(**kw):
+    kw.setdefault("workers", 0)
+    return IndexServer(**kw)
+
+
+def _pump_until(server, pred, limit=10_000):
+    for _ in range(limit):
+        if pred():
+            return
+        if not server.pump_jobs(1):
+            break
+    assert pred(), "server never reached the expected condition"
+
+
+# -- the proof: every shardable index, rebuild under churn ---------------------
+
+@pytest.mark.parametrize("index_name", SHARDABLE)
+def test_deterministic_rebuild_under_churn(index_name):
+    report, failures = check_session(index_name, threaded=False)
+    assert not failures, "\n".join(failures)
+    assert report.ok
+    assert report.job["kind"] == "rebuild"
+    assert report.job["verified_fraction"] == 1.0
+
+
+@pytest.mark.parametrize("index_name", SHARDABLE)
+def test_threaded_rebuild_under_churn(index_name):
+    report, failures = check_session(index_name, threaded=True)
+    assert not failures, "\n".join(failures)
+    assert report.ok
+
+
+def test_burst_profile_session():
+    report, failures = check_session("B+tree", profile="burst")
+    assert not failures, "\n".join(failures)
+    # A burst profile actually bursts: inserts dominate the stream.
+    assert report.op_counts["insert"] > report.op_counts.get("lookup", 0)
+
+
+def test_deterministic_session_is_reproducible():
+    bulk, streams = build_session("ALEX", seed=11)
+    first = run_serve_session("ALEX", bulk, streams, seed=11, chunk=64)
+    second = run_serve_session("ALEX", bulk, streams, seed=11, chunk=64)
+    assert first.ok and second.ok
+    assert first.client_ns == second.client_ns
+    assert first.overhead_ns == second.overhead_ns
+    assert first.op_counts == second.op_counts
+    assert [
+        (o.op, o.key, o.value, o.count) for o in first.interleaved_ops
+    ] == [(o.op, o.key, o.value, o.count) for o in second.interleaved_ops]
+
+
+def test_migrate_session_changes_index_type():
+    bulk, streams = build_session("ALEX", seed=5)
+    report = run_serve_session("ALEX", bulk, streams, rebuild_to="B+tree",
+                               seed=5, chunk=64)
+    assert report.ok
+    assert report.job["kind"] == "migrate"
+    assert report.job["dst"] == "B+tree"
+    assert report.index_name == "B+tree"
+
+
+# -- job admission: block vs reject -------------------------------------------
+
+def test_block_admission_waits_for_a_slot():
+    with _manual_server(queue_depth=1, admission=BLOCK, chunk=64) as server:
+        server.create_instance("t", "B+tree", items=_items())
+        first = server.rebuild("t")        # fills the 1-deep queue
+
+        submitted = []
+
+        def submitter():
+            submitted.append(server.rebuild("t"))  # blocks until a slot
+
+        thread = threading.Thread(target=submitter, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while server.blocked_submits < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert server.blocked_submits == 1
+        assert not submitted          # still parked in put()
+        server.drain()                # pumping frees the slot, then runs both
+        thread.join(timeout=5.0)
+        server.drain()
+        assert server.rejected_jobs == 0
+        assert first.state == JOB_DONE
+        assert submitted and submitted[0].state == JOB_DONE
+        assert server.instance("t").state == SERVING
+        assert not server.replay_check("t")
+
+
+def test_reject_admission_counts_saturation_exactly():
+    with _manual_server(queue_depth=2, admission=REJECT, chunk=64) as server:
+        server.create_instance("t", "B+tree", items=_items())
+        accepted = [server.rebuild("t"), server.rebuild("t")]
+        rejections = 0
+        for _ in range(2):
+            with pytest.raises(AdmissionError) as err:
+                server.rebuild("t")
+            rejections += 1
+            assert "queue full" in str(err.value)
+        assert rejections == 2
+        assert server.rejected_jobs == 2
+        assert server.submitted_jobs == 2
+        assert server.max_queue_depth == 2
+        assert len(server.jobs()) == 2    # rejected jobs leave no ghost
+        server.drain()
+        assert [j.state for j in accepted] == [JOB_DONE, JOB_DONE]
+        assert server.instance("t").state == SERVING
+
+
+def test_abort_in_queue_never_touches_the_instance():
+    with _manual_server(queue_depth=4, chunk=64) as server:
+        server.create_instance("t", "B+tree", items=_items())
+        job = server.rebuild("t")
+        job.abort()
+        server.drain()
+        assert job.state == JOB_ABORTED
+        assert server.instance("t").state == SERVING
+
+
+# -- rollback: abort and divergence -------------------------------------------
+
+def test_rebuild_abort_rolls_back_to_serving():
+    with _manual_server(chunk=32) as server:
+        inst = server.create_instance("t", "B+tree", items=_items())
+        original = inst.index
+        job = server.rebuild("t")
+        _pump_until(server, lambda: inst.state == MIGRATING)
+        server.pump_jobs(2)               # a couple of backfill chunks
+        assert not job.finished
+        job.abort()
+        server.drain()
+        assert job.state == JOB_ABORTED
+        assert inst.state == SERVING
+        assert inst.index is original     # secondary detached, no cutover
+        assert server.lookup("t", _items()[0][0]) == payload(_items()[0][0])
+        assert not server.replay_check("t")
+
+
+def test_divergence_fails_job_and_rolls_back():
+    items = _items()
+    with _manual_server(chunk=32) as server:
+        inst = server.create_instance("t", "B+tree", items=items)
+        original = inst.index
+        job = server.rebuild("t")
+        _pump_until(server, lambda: inst.state == MIGRATING)
+        server.pump_jobs(1)               # first backfill chunk lands
+        # Poison the secondary: a backfilled key now disagrees with the
+        # primary, so verification must fail the job, not cut over.
+        poisoned = items[0][0]
+        assert job.runner.mux.secondary.update(poisoned, 0xBAD)
+        server.drain()
+        assert job.state == JOB_FAILED
+        assert job.error
+        assert inst.state == SERVING
+        assert inst.index is original
+        assert server.lookup("t", poisoned) == payload(poisoned)
+        assert not server.replay_check("t")
+
+
+# -- admission during a background bulk load -----------------------------------
+
+def test_loading_instance_counts_rejections_then_serves():
+    items = _items(n=150)
+    with _manual_server(chunk=50) as server:
+        inst = server.create_instance("t", "B+tree")
+        assert inst.state == LOADING
+        server.bulk_load("t", items)
+        with pytest.raises(AdmissionError):
+            server.lookup("t", items[0][0])
+        assert inst.rejected[LOOKUP] == 1
+        assert server.status("t")["server"]["dropped"][LOOKUP] == 1
+        server.drain()
+        assert inst.state == SERVING
+        assert server.lookup("t", items[0][0]) == payload(items[0][0])
+        assert not server.replay_check("t")
+
+
+def test_bulk_load_requires_loading_state():
+    with _manual_server() as server:
+        server.create_instance("t", "B+tree", items=_items(n=50))
+        with pytest.raises(ValueError, match="LOADING"):
+            server.bulk_load("t", _items(n=50))
+
+
+# -- job events on the bus ------------------------------------------------------
+
+def test_job_events_are_ordered_and_monotone():
+    bus = EventBus()
+    bulk, streams = build_session("ALEX", seed=2)
+    report = run_serve_session("ALEX", bulk, streams, seed=2, chunk=64,
+                               bus=bus)
+    assert report.ok
+    events = bus.events(kind=KIND_JOB, source="tenant")
+    assert events, "the rebuild published no job events"
+    statuses = [e["status"] for e in events]
+    assert statuses[0] == JOB_QUEUED
+    assert statuses[-1] == JOB_DONE
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    chunks = [e["chunks"] for e in events]
+    assert chunks == sorted(chunks)
+    dones = [e["done"] for e in events]
+    assert dones == sorted(dones)
+    # Queue-depth gauge rides on every job event.
+    assert all("queue_depth" in e for e in events)
+    terminal = events[-1]
+    assert terminal["verified_fraction"] == 1.0
+    assert terminal["eta_ns"] == 0.0
+
+
+# -- batch paths through the server --------------------------------------------
+
+def test_batch_ops_are_journaled_and_replayable():
+    items = _items(n=120)
+    with _manual_server() as server:
+        server.create_instance("t", "ALEX", items=items)
+        fresh = [(10**12 + i * 7, payload(10**12 + i * 7)) for i in range(40)]
+        oks = server.insert_many("t", fresh)
+        assert all(oks)
+        keys = [k for k, _ in items[:20]] + [k for k, _ in fresh[:20]] + [42]
+        values = server.lookup_many("t", keys)
+        assert values[:40] == [payload(k) for k in keys[:40]]
+        assert values[-1] is None
+        journal = server.journal("t")
+        assert len(journal) == len(fresh) + len(keys)
+        assert not server.replay_check("t")
+        counts = server.instance("t").op_counts
+        assert counts["insert"] == len(fresh)
+        assert counts["lookup"] == len(keys)
+
+
+# -- status surface -------------------------------------------------------------
+
+def test_status_merges_instance_server_and_jobs():
+    with _manual_server() as server:
+        server.create_instance("t", "B+tree", items=_items(n=80))
+        server.lookup("t", _items(n=80)[0][0])
+        job = server.rebuild("t")
+        status = server.status("t")
+        assert status["state"] == SERVING
+        assert status["server"]["ops"] == 1
+        assert status["server"]["dropped"] == {}
+        assert status["jobs"][0]["job_id"] == job.job_id
+        assert status["jobs"][0]["state"] == JOB_QUEUED
+        assert status["queue_depth"] == 1
+        server.drain()
+        assert server.status("t")["jobs"][0]["state"] == JOB_DONE
+        assert server.status("t")["queue_depth"] == 0
+
+
+def test_create_instance_validations():
+    with _manual_server() as server:
+        server.create_instance("t", "B+tree")
+        with pytest.raises(ValueError, match="already exists"):
+            server.create_instance("t", "ALEX")
+        with pytest.raises(KeyError, match="no instance"):
+            server.status("nope")
+
+
+# -- thread-safety: SyncedMeter and the RW lock ---------------------------------
+
+def test_synced_meter_adopt_preserves_counts():
+    meter = CostMeter()
+    meter.charge("model_eval", 3)
+    meter.charge_phased("smo", "search_step", 2)
+    synced = SyncedMeter.adopt(meter)
+    assert isinstance(synced, SyncedMeter)
+    assert synced.total_units("model_eval") == meter.total_units("model_eval")
+    assert synced.total_units("search_step") == \
+        meter.total_units("search_step")
+    assert synced.total_time() == meter.total_time()
+    assert synced.time_by_phase() == meter.time_by_phase()
+    assert SyncedMeter.adopt(synced) is synced
+
+
+def test_two_thread_hammer_keeps_meter_clock_monotone():
+    items = _items(n=200)
+    with IndexServer(workers=1) as server:
+        server.create_instance("t", "B+tree", items=items)
+        meter = server.instance("t").index.meter
+        assert isinstance(meter, SyncedMeter)
+        stop = threading.Event()
+        errors = []
+
+        def hammer(base):
+            try:
+                for i in range(300):
+                    server.insert("t", base + i * 7, payload(base + i * 7))
+                    server.lookup("t", items[i % len(items)][0])
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def watch():
+            last = meter.total_time()
+            while not stop.is_set():
+                now = meter.total_time()
+                if now < last:
+                    errors.append(AssertionError(
+                        f"virtual clock went backwards: {last} -> {now}"))
+                    return
+                last = now
+
+        threads = [threading.Thread(target=hammer, args=(10**13 * (i + 1),),
+                                    daemon=True) for i in range(2)]
+        watcher = threading.Thread(target=watch, daemon=True)
+        watcher.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        stop.set()
+        watcher.join(timeout=5.0)
+        assert not errors, errors[0]
+        # No lost updates: every op charged something, none vanished.
+        counts = server.instance("t").op_counts
+        assert counts["insert"] == 600
+        assert counts["lookup"] == 600
+        assert not server.replay_check("t")
+
+
+def test_rwlock_readers_share_writers_exclude():
+    lock = RWLock()
+    lock.acquire_read()
+    lock.acquire_read()          # readers share
+    state = {"w": False}
+
+    def writer():
+        lock.acquire_write()
+        state["w"] = True
+        lock.release_write()
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    assert not state["w"]        # writer parked behind the readers
+    # Writer preference: a new reader must now wait too.
+    blocked = {"r": False}
+
+    def late_reader():
+        lock.acquire_read()
+        blocked["r"] = True
+        lock.release_read()
+
+    reader = threading.Thread(target=late_reader, daemon=True)
+    reader.start()
+    time.sleep(0.05)
+    assert not blocked["r"]
+    lock.release_read()
+    lock.release_read()
+    thread.join(timeout=5.0)
+    reader.join(timeout=5.0)
+    assert state["w"] and blocked["r"]
+
+
+def test_server_validates_configuration():
+    with pytest.raises(ValueError, match="admission"):
+        IndexServer(admission="maybe")
+    with pytest.raises(ValueError, match="queue_depth"):
+        IndexServer(queue_depth=0)
+    with pytest.raises(ValueError, match="workers"):
+        IndexServer(workers=3)
+    with _manual_server() as server:
+        server.create_instance("t", "B+tree", items=_items(n=40))
+        with pytest.raises(ValueError, match="destination"):
+            server.migrate("t", "RMI")   # RMI is read-only, no backfill
+    with IndexServer(workers=1) as threaded:
+        with pytest.raises(RuntimeError, match="workers=0"):
+            threaded.pump_jobs()
+
+
+def test_all_registry_specs_have_shardable_flag_consistency():
+    # The harness sweep is only a proof if it covers what it claims:
+    # every spec with insert+range is in the shardable sweep.
+    for spec in REGISTRY:
+        expected = spec.supports_insert and spec.supports_range
+        assert spec.supports_sharding == expected

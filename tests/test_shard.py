@@ -417,3 +417,90 @@ def test_routed_stream_engine_parity():
     assert shard.n_ops == plain.n_ops
     assert shard.index_name == "Sharded[B+tree]"
     assert shard.memory.total >= plain.memory.total  # N structures
+
+
+# -- property-based: ShardMap split/merge vs a brute-force model ---------------
+
+from hypothesis import settings as _hyp_settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+from hypothesis.stateful import (  # noqa: E402
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+_MAP_KEY = st.integers(min_value=0, max_value=2**20)
+
+
+class ShardMapMachine(RuleBasedStateMachine):
+    """Random split/merge sequences vs a plain sorted-list model.
+
+    The model is just the boundary list itself kept by brute force;
+    the invariants re-derive everything a router relies on — strictly
+    sorted boundaries, contiguous half-open ranges covering the whole
+    keyspace, and ``route`` agreeing with a linear scan — after every
+    step, so hypothesis shrinks any violation to a minimal edit script.
+    """
+
+    @initialize(keys=st.sets(_MAP_KEY, max_size=12))
+    def start(self, keys):
+        self.model = sorted(keys)
+        self.map = ShardMap(self.model)
+
+    @rule(sid=st.integers(min_value=0, max_value=2**30), at=_MAP_KEY)
+    def split(self, sid, at):
+        sid %= self.map.n_shards
+        lo, hi = self.map.range_of(sid)
+        inside = ((lo is None or at > lo) and (hi is None or at < hi))
+        if inside:
+            self.map.split(sid, at)
+            self.model.insert(sid, at)
+        else:
+            with pytest.raises(ValueError):
+                self.map.split(sid, at)
+
+    @rule(sid=st.integers(min_value=0, max_value=2**30))
+    def merge(self, sid):
+        if not self.model:
+            with pytest.raises(IndexError):
+                self.map.merge(0)
+            return
+        sid %= len(self.model)
+        removed = self.map.merge(sid)
+        assert removed == self.model.pop(sid)
+
+    @rule(key=_MAP_KEY)
+    def route_agrees_with_linear_scan(self, key):
+        got = self.map.route(key)
+        assert got == sum(1 for b in self.model if b <= key)
+        lo, hi = self.map.range_of(got)
+        assert lo is None or lo <= key
+        assert hi is None or key < hi
+
+    @invariant()
+    def boundaries_strictly_sorted(self):
+        if not hasattr(self, "map"):
+            return
+        bl = self.map.boundaries
+        assert bl == self.model
+        assert all(a < b for a, b in zip(bl, bl[1:]))
+
+    @invariant()
+    def ranges_cover_keyspace_contiguously(self):
+        if not hasattr(self, "map"):
+            return
+        n = self.map.n_shards
+        assert n == len(self.model) + 1
+        ranges = [self.map.range_of(sid) for sid in range(n)]
+        assert ranges[0][0] is None
+        assert ranges[-1][1] is None
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo  # no gap, no overlap
+        with pytest.raises(IndexError):
+            self.map.range_of(n)
+
+
+TestShardMapStateful = ShardMapMachine.TestCase
+TestShardMapStateful.settings = _hyp_settings(
+    max_examples=50, stateful_step_count=50, deadline=None)
